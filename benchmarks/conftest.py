@@ -1,0 +1,45 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one paper item (see DESIGN.md's per-experiment
+index): it runs the workload once under pytest-benchmark timing, prints the
+same rows/series the paper reports, and writes them under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a rendered artifact and persist it.
+
+    Usage: ``emit("fig4a", table.formatted())`` or with a CSV payload via
+    the ``csv=`` keyword.
+    """
+
+    def _emit(name: str, text: str, csv: str | None = None) -> None:
+        with capsys.disabled():
+            print(f"\n================ {name} ================")
+            print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        if csv is not None:
+            (results_dir / f"{name}.csv").write_text(csv)
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under benchmark timing and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""VAL-3D — 3-D engine vs reduced model consistency.
+
+The Fig. 4 statistics run on the reduced 1-D model; this validation shows
+the substitution is sound where the two substrates overlap: an SMD pull of
+the full 3-D CG chain through *bulk solvent* (no landscape features) and
+the reduced model on a flat potential, with frictions matched through the
+implicit-solvent chain-COM drag, must both reproduce the exact analytic
+work of a dragged overdamped spring,
+
+    W(T) = zeta v^2 [ T - tau (1 - exp(-T/tau)) ],   tau = zeta / kappa,
+
+which includes the spring-loading transient (at this kappa/zeta the pull is
+*mostly* transient — naive ``zeta v L`` overestimates by 2x, so agreement
+here is a sharp test, not a tautology).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.pore import AxialLandscape, ImplicitSolvent, ReducedTranslocationModel
+from repro.smd import (
+    PullingProtocol,
+    run_pulling_ensemble,
+    run_pulling_ensemble_3d,
+)
+
+from conftest import once
+
+
+def analytic_drag_work(zeta: float, kappa: float, v: float, distance: float) -> float:
+    tau = zeta / kappa
+    T = distance / v
+    return zeta * v**2 * (T - tau * (1.0 - np.exp(-T / tau)))
+
+
+def test_3d_vs_reduced_consistency(benchmark, emit):
+    n_bases = 6
+    velocity = 1000.0
+    distance = 15.0
+    kappa_pn = 800.0
+
+    def workload():
+        proto = PullingProtocol(kappa_pn=kappa_pn, velocity=velocity,
+                                distance=distance, start_z=0.0,
+                                equilibration_ns=2e-4)
+        # 3-D: pull the chain through bulk (COM far above the pore).
+        ens3d = run_pulling_ensemble_3d(proto, n_samples=6, n_bases=n_bases,
+                                        start_com_z=120.0, seed=17)
+        # Reduced model with the chain-COM drag from the solvent model.
+        zeta_chain = n_bases * ImplicitSolvent().friction(in_pore=True)
+        model = ReducedTranslocationModel(AxialLandscape([]),
+                                          friction=zeta_chain)
+        ens1d = run_pulling_ensemble(model, proto, n_samples=64, seed=18,
+                                     force_sample_time=None)
+        return ens3d, ens1d, zeta_chain, proto
+
+    ens3d, ens1d, zeta_chain, proto = once(benchmark, workload)
+    w_exact = analytic_drag_work(zeta_chain, proto.kappa_internal,
+                                 velocity, distance)
+    w_naive = zeta_chain * velocity * distance
+
+    table = Table("3-D engine vs reduced model (bulk drag pull)",
+                  ["quantity", "value_kcal_mol"])
+    table.add_row("3-D mean work (6 replicas)", float(ens3d.final_works().mean()))
+    table.add_row("reduced-model mean work (64 replicas)",
+                  float(ens1d.final_works().mean()))
+    table.add_row("analytic dragged-spring work", w_exact)
+    table.add_row("naive zeta*v*L (ignores transient)", w_naive)
+    notes = ["",
+             "both substrates land on the analytic transient-corrected work;",
+             "the naive steady-state estimate is ~2x off at this kappa/zeta,",
+             "so the three-way agreement is a sharp consistency test."]
+    emit("validation_3d", table.formatted("{:.1f}") + "\n" + "\n".join(notes),
+         csv=table.to_csv())
+
+    assert ens1d.final_works().mean() == pytest.approx(w_exact, rel=0.1)
+    assert ens3d.final_works().mean() == pytest.approx(w_exact, rel=0.15)
+    # And the two substrates agree with each other even more tightly.
+    assert ens3d.final_works().mean() == pytest.approx(
+        ens1d.final_works().mean(), rel=0.15)

@@ -1,0 +1,79 @@
+"""FIG4a-e — the paper's central result (Fig. 4 panels + error analysis).
+
+Regenerates, per panel, the PMF-vs-COM-displacement curves for the
+(kappa, v) grid, the cost-normalized statistical / systematic error table,
+and the optimal-parameter selection.  Expected shape agreements (DESIGN.md):
+
+* kappa = 10 pN/A: smallest sigma_stat, largest sigma_sys, strong v-spread;
+* kappa = 1000 pN/A: largest sigma_stat;
+* kappa = 100 pN/A: the tradeoff, with v = 12.5 ~ 25 indistinguishable;
+* selected optimum: (kappa, v) = (100 pN/A, 12.5 A/ns).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fig4_error_table,
+    fig4_panel_kappa,
+    fig4_panel_velocity,
+    render_figure,
+)
+from repro.core import run_parameter_study
+from repro.pore import ReducedTranslocationModel, default_reduced_potential
+from repro.smd import parameter_grid
+
+from conftest import once
+
+N_SAMPLES = 48
+N_BOOTSTRAP = 100
+SEED = 2005
+
+
+@pytest.fixture(scope="module")
+def study():
+    model = ReducedTranslocationModel(default_reduced_potential())
+    protocols = parameter_grid(distance=10.0, start_z=-5.0)
+    return run_parameter_study(model, protocols=protocols,
+                               n_samples=N_SAMPLES, n_bootstrap=N_BOOTSTRAP,
+                               seed=SEED)
+
+
+@pytest.mark.parametrize("kappa,name", [(10.0, "fig4a"), (100.0, "fig4b"),
+                                        (1000.0, "fig4c")])
+def test_fig4_panels_kappa(benchmark, emit, study, kappa, name):
+    fig = once(benchmark, lambda: fig4_panel_kappa(study, kappa))
+    emit(name, render_figure(fig), csv=fig.to_csv())
+    # Every panel: strongly downhill PMFs over the 10 A window.
+    for curve in fig.curves:
+        assert curve.y[-1] < -60.0
+
+
+def test_fig4d_panel_velocity(benchmark, emit, study):
+    fig = once(benchmark, lambda: fig4_panel_velocity(study, 12.5))
+    emit("fig4d", render_figure(fig), csv=fig.to_csv())
+    assert {c.label for c in fig.curves} >= {"kappa = 10", "kappa = 100",
+                                             "kappa = 1000"}
+
+
+def test_fig4_error_analysis_and_optimum(benchmark, emit, study):
+    table = once(benchmark, lambda: fig4_error_table(study))
+    lines = [table.formatted()]
+    lines.append("")
+    lines.append(f"selected optimal parameters: kappa = {study.optimal[0]:g} pN/A, "
+                 f"v = {study.optimal[1]:g} A/ns "
+                 f"(paper: kappa = 100 pN/A, v = 12.5 A/ns)")
+    emit("fig4_errors", "\n".join(lines), csv=table.to_csv())
+
+    # --- the paper's orderings, asserted ---
+    stat = {(b.kappa_pn, b.velocity): b.sigma_stat for b in study.budget_table()}
+    sys = {(b.kappa_pn, b.velocity): b.sigma_sys for b in study.budget_table()}
+    mean_stat = {k: np.mean([v for (kk, _), v in stat.items() if kk == k])
+                 for k in (10.0, 100.0, 1000.0)}
+    mean_sys = {k: np.mean([v for (kk, _), v in sys.items() if kk == k])
+                for k in (10.0, 100.0, 1000.0)}
+    assert mean_stat[10.0] < mean_stat[1000.0], "kappa=1000 must be noisiest"
+    assert mean_sys[10.0] > mean_sys[100.0], "kappa=10 must be most biased"
+    for k in (10.0, 100.0, 1000.0):
+        assert sys[(k, 100.0)] > sys[(k, 12.5)], "faster pulls more biased"
+    assert study.optimal == (100.0, 12.5)

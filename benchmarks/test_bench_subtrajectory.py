@@ -1,0 +1,103 @@
+"""EXP-SUBTRAJ — the sub-trajectory length choice (Section IV-A).
+
+"the further the center of mass (COM) of the SMD atoms from its initial
+position, the greater the statistical and systematic errors; hence when the
+PMF is required over a long trajectory, it is advantageous to break up a
+single long trajectory into smaller trajectories."
+
+Regenerated: end-point PMF error vs pull length for a single window, plus
+the stitched-windows-vs-single-pull comparison over 20 A.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Curve, FigureData, Table, render_figure
+from repro.core import estimate_pmf
+from repro.pore import ReducedTranslocationModel, default_reduced_potential
+from repro.smd import (
+    PullingProtocol,
+    plan_subtrajectories,
+    run_pulling_ensemble,
+    stitch_pmfs,
+)
+
+from conftest import once
+
+N_SAMPLES = 32
+VELOCITY = 100.0  # fast pulls make error growth visible at modest cost
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ReducedTranslocationModel(default_reduced_potential())
+
+
+def test_error_grows_with_pull_length(benchmark, emit, model):
+    lengths = [2.5, 5.0, 10.0, 20.0, 30.0]
+
+    def workload():
+        errs = []
+        for dist in lengths:
+            proto = PullingProtocol(kappa_pn=100.0, velocity=VELOCITY,
+                                    distance=dist, start_z=-5.0,
+                                    equilibration_ns=0.05)
+            ens = run_pulling_ensemble(model, proto, n_samples=N_SAMPLES,
+                                       seed=31)
+            est = estimate_pmf(ens)
+            ref = model.reference_pmf(-5.0 + ens.displacements)
+            errs.append(abs(est.values[-1] - ref[-1]))
+        return np.array(errs)
+
+    errors = once(benchmark, workload)
+    fig = FigureData("End-point PMF error vs single-window pull length",
+                     "pull length (A)", "|Phi_est - Phi_exact| (kcal/mol)")
+    fig.add(Curve("error", np.array(lengths), errors))
+    emit("subtraj_error_growth", render_figure(fig, height=12),
+         csv=fig.to_csv())
+
+    assert errors[-1] > errors[0], "errors grow with distance from start"
+    assert errors[-1] > 2.0
+
+
+def test_stitched_windows_beat_single_long_pull(benchmark, emit, model):
+    total = 20.0
+
+    def workload():
+        # Single 20 A pull.
+        single_proto = PullingProtocol(kappa_pn=100.0, velocity=VELOCITY,
+                                       distance=total, start_z=-5.0,
+                                       equilibration_ns=0.05)
+        single = estimate_pmf(run_pulling_ensemble(
+            model, single_proto, n_samples=N_SAMPLES, seed=32))
+        ref_single = model.reference_pmf(-5.0 + single.displacements)
+        err_single = float(np.sqrt(np.mean(
+            (single.values - ref_single) ** 2)))
+
+        # Four 5 A windows, freshly equilibrated each.
+        base = PullingProtocol(kappa_pn=100.0, velocity=VELOCITY,
+                               distance=5.0, start_z=-5.0,
+                               equilibration_ns=0.05)
+        plan = plan_subtrajectories(base, total_distance=total, window=5.0)
+        disps, pmfs, starts = [], [], []
+        for i, proto in enumerate(plan.protocols):
+            ens = run_pulling_ensemble(model, proto, n_samples=N_SAMPLES,
+                                       seed=200 + i)
+            est = estimate_pmf(ens)
+            disps.append(est.displacements)
+            pmfs.append(est.values)
+            starts.append(proto.start_z)
+        z, stitched = stitch_pmfs(disps, pmfs, starts)
+        ref_stitched = model.reference_pmf(z)
+        err_stitched = float(np.sqrt(np.mean((stitched - ref_stitched) ** 2)))
+        return err_single, err_stitched
+
+    err_single, err_stitched = once(benchmark, workload)
+    table = Table(f"PMF over {total:g} A at v = {VELOCITY:g} A/ns: "
+                  "one pull vs 4 stitched windows",
+                  ["method", "rms_error_kcal_mol"])
+    table.add_row("single long pull", err_single)
+    table.add_row("4 x 5 A sub-trajectories", err_stitched)
+    emit("subtraj_stitching", table.formatted(), csv=table.to_csv())
+
+    assert err_stitched < err_single

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Beyond hemolysin: dsDNA through a solid-state nanopore.
+
+The paper's conclusion claims generality: "exactly the same approach used
+here can be adopted to attempt larger and even more challenging problems".
+This example swaps both the molecule (a CG B-DNA duplex, with helical-twist
+dihedrals) and the pore (a fabricated SiN channel wide enough for duplexes)
+and runs the same SMD machinery — nothing else changes.
+"""
+
+import numpy as np
+
+from repro.analysis import render_cross_section
+from repro.md import (
+    DihedralForce,
+    ExternalFieldForce,
+    FENEBondForce,
+    HarmonicAngleForce,
+    HarmonicBondForce,
+    LangevinBAOAB,
+    ParticleSystem,
+    Simulation,
+    WCAForce,
+)
+from repro.pore import build_dsdna, solid_state_nanopore
+from repro.smd import PullingProtocol, SMDPullingForce, SMDWorkRecorder
+from repro.units import timestep_fs
+
+
+def main() -> None:
+    pore = solid_state_nanopore(radius=18.0, thickness=20.0)
+    print("pore:", {k: round(v, 1) if isinstance(v, float) else v
+                    for k, v in pore.describe().items()})
+
+    duplex = build_dsdna(12, start=(0.0, 0.0, 18.0), seed=9)
+    system = ParticleSystem(duplex.positions, duplex.masses,
+                            charges=duplex.charges)
+    system.initialize_velocities(300.0, seed=10)
+    dih = duplex.dihedrals
+    forces = [
+        FENEBondForce(duplex.backbone),
+        HarmonicAngleForce(duplex.backbone),
+        HarmonicBondForce(duplex.rungs),
+        DihedralForce(dih["quads"], dih["k"], dih["n"], dih["phi0"]),
+        WCAForce(system.types, epsilon=np.array([0.3]), sigma=np.array([3.0]),
+                 exclusions=duplex.exclusions()),
+        ExternalFieldForce(pore),
+    ]
+    sim = Simulation(system, forces,
+                     LangevinBAOAB(timestep_fs(2.0), friction=150.0, seed=11))
+
+    indices = np.arange(system.n)
+    com0 = float(system.center_of_mass()[2])
+    proto = PullingProtocol(kappa_pn=800.0, velocity=500.0, distance=80.0,
+                            start_z=-com0)
+    smd = SMDPullingForce(proto, indices, system.masses, axis=(0, 0, -1))
+    sim.forces.append(smd)
+    recorder = SMDWorkRecorder(smd, record_stride=100)
+    sim.add_reporter(recorder)
+
+    print(f"pulling the duplex from COM z = {com0:.1f} A through the pore...")
+    sim.step(int(proto.duration_ns / sim.integrator.dt))
+    com1 = float(system.center_of_mass()[2])
+    print(f"final COM z = {com1:.1f} A; SMD work {recorder.work:.0f} kcal/mol")
+    print()
+    print(render_cross_section(pore.geometry, system.positions, height=24))
+    sim.system.validate()
+    print("\nduplex intact after translocation (validate passed).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Steer a ssDNA strand through the pore (the paper's Fig. 3).
+
+A full 3-D CG run: the strand is pulled along the pore axis by an SMD trap
+on its centre of mass.  The script tracks bond extension and reports the
+stretching at the constriction, plus the accumulated non-equilibrium work.
+"""
+
+import numpy as np
+
+from repro.analysis import Curve, FigureData, render_figure
+from repro.pore import build_translocation_simulation
+from repro.smd import PullingProtocol, SMDPullingForce, SMDWorkRecorder
+
+
+def main() -> None:
+    ts = build_translocation_simulation(n_bases=10, start_z=8.0, seed=21)
+    sim = ts.simulation
+    print(f"initial DNA COM: z = {ts.dna_com_z:.1f} A (above the vestibule mouth)")
+
+    protocol = PullingProtocol(kappa_pn=800.0, velocity=500.0, distance=90.0,
+                               start_z=-ts.dna_com_z)
+    smd = SMDPullingForce(protocol, ts.dna_indices, sim.system.masses,
+                          axis=(0.0, 0.0, -1.0))
+    sim.forces.append(smd)
+    recorder = SMDWorkRecorder(smd, record_stride=50)
+    sim.add_reporter(recorder)
+
+    com_z, max_bond = [], []
+
+    def track(s):
+        if s.step_count % 25 == 0:
+            pos = s.system.positions
+            com_z.append(float(pos.mean(axis=0)[2]))
+            max_bond.append(float(np.linalg.norm(np.diff(pos, axis=0),
+                                                 axis=1).max()))
+
+    sim.add_reporter(track)
+    n_steps = int(protocol.duration_ns / sim.integrator.dt)
+    print(f"pulling at {protocol.velocity:g} A/ns for "
+          f"{protocol.duration_ns * 1000:.0f} ps ({n_steps} steps)...")
+    sim.step(n_steps)
+
+    com = np.array(com_z)
+    bond = np.array(max_bond)
+    order = np.argsort(com)
+    fig = FigureData("strand stretching along the translocation pathway",
+                     "DNA COM z (A)  [pore: +50 vestibule ... -50 exit]",
+                     "max bond length (A)")
+    fig.add(Curve("max bond", com[order], bond[order]))
+    print()
+    print(render_figure(fig, height=14))
+
+    entering = (com >= 15.0) & (com < 40.0)
+    passed = com < -30.0
+    print(f"\ntranslocation: COM {com[0]:.1f} -> {com[-1]:.1f} A")
+    print(f"max stretch entering the constriction: {bond[entering].max():.2f} A")
+    print(f"relaxed after passage:                 {bond[passed].mean():.2f} A")
+    print(f"accumulated SMD work: {recorder.work:.0f} kcal/mol "
+          f"(fast pull: strongly dissipative, as the paper's IMD phase)")
+
+
+if __name__ == "__main__":
+    main()

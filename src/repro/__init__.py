@@ -1,0 +1,37 @@
+"""repro — a full reproduction of SPICE (Jha, Coveney & Harvey, SC 2005).
+
+SPICE computes free-energy profiles of DNA translocation through the
+alpha-hemolysin pore with Steered Molecular Dynamics + Jarzynski's equality
+(SMD-JE), running the resulting ensemble of simulations on a federated
+US/UK grid with interactive steering and visualization.
+
+Subpackages
+-----------
+``repro.md``
+    Coarse-grained MD engine (the NAMD stand-in).
+``repro.pore``
+    alpha-hemolysin pore, ssDNA, implicit solvent, reduced 1-D model.
+``repro.smd``
+    Steered-MD protocols, pulling forces, work ensembles.
+``repro.core``
+    Jarzynski estimators, PMF reconstruction, error analysis, optimizer.
+``repro.steering``
+    RealityGrid-style computational steering framework.
+``repro.net``
+    Network QoS substrate: lightpaths, production internet, hidden IPs.
+``repro.grid``
+    Federated-grid discrete-event simulator (TeraGrid + NGS).
+``repro.imd``
+    Interactive molecular dynamics sessions and haptic user models.
+``repro.workflow``
+    The SPICE three-phase campaign orchestration.
+``repro.analysis``
+    Series/table/ASCII-plot emitters for every paper figure.
+"""
+
+from . import units
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["units", "ReproError", "__version__"]

@@ -1,0 +1,40 @@
+"""Analysis and reporting: labelled series, tables, ASCII plots, and the
+one-emitter-per-paper-figure layer the benchmarks are built on."""
+
+from .series import Curve, FigureData, Table
+from .asciiplot import render_figure
+from .snapshot import render_cross_section
+from .calibration import (
+    estimate_diffusion,
+    estimate_friction,
+    calibrate_reduced_friction,
+)
+from .figures import (
+    fig1_structure_table,
+    fig4_panel_kappa,
+    fig4_panel_velocity,
+    fig4_error_table,
+    fig5_campaign_table,
+    cost_model_table,
+    qos_table,
+    reachability_table,
+)
+
+__all__ = [
+    "Curve",
+    "FigureData",
+    "Table",
+    "render_figure",
+    "render_cross_section",
+    "estimate_diffusion",
+    "estimate_friction",
+    "calibrate_reduced_friction",
+    "fig1_structure_table",
+    "fig4_panel_kappa",
+    "fig4_panel_velocity",
+    "fig4_error_table",
+    "fig5_campaign_table",
+    "cost_model_table",
+    "qos_table",
+    "reachability_table",
+]

@@ -1,0 +1,110 @@
+"""Plain data containers for figures and tables.
+
+The benchmarks regenerate the paper's figures as *data* (labelled series and
+tables), rendered to aligned text and CSV — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["Curve", "FigureData", "Table"]
+
+
+@dataclass
+class Curve:
+    """One labelled series."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.shape != self.y.shape or self.x.ndim != 1:
+            raise AnalysisError(f"curve {self.label!r}: x/y must be equal-length 1-D")
+        if self.x.size == 0:
+            raise AnalysisError(f"curve {self.label!r}: empty")
+
+
+@dataclass
+class FigureData:
+    """A figure: titled collection of curves with axis labels."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    curves: List[Curve] = field(default_factory=list)
+
+    def add(self, curve: Curve) -> "FigureData":
+        self.curves.append(curve)
+        return self
+
+    def curve(self, label: str) -> Curve:
+        for c in self.curves:
+            if c.label == label:
+                return c
+        raise AnalysisError(f"no curve {label!r} in figure {self.title!r}")
+
+    def to_csv(self) -> str:
+        """Long-format CSV: series,x,y."""
+        lines = ["series,x,y"]
+        for c in self.curves:
+            for xv, yv in zip(c.x, c.y):
+                lines.append(f"{c.label},{xv:.6g},{yv:.6g}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class Table:
+    """A titled table with typed-ish columns (everything stringified late)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+
+    def add_row(self, *values) -> "Table":
+        if len(values) != len(self.columns):
+            raise AnalysisError(
+                f"table {self.title!r}: expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+        return self
+
+    def formatted(self, float_fmt: str = "{:.3f}") -> str:
+        """Aligned fixed-width text rendering."""
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return float_fmt.format(v)
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        sep = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells
+        ]
+        return "\n".join([self.title, header, sep, *body])
+
+    def to_csv(self) -> str:
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(f"{v:.6g}" if isinstance(v, float) else str(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def column(self, name: str) -> list:
+        try:
+            i = list(self.columns).index(name)
+        except ValueError:
+            raise AnalysisError(f"no column {name!r} in table {self.title!r}") from None
+        return [row[i] for row in self.rows]

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the common entry points:
+
+* ``structure`` — Fig. 1 structural summary + cross-section;
+* ``pmf`` — one SMD-JE PMF at chosen (kappa, v);
+* ``fig4`` — the full parameter study with panels and the optimum;
+* ``campaign`` — the three-phase SPICE campaign on the federation;
+* ``qos`` — the IMD network-QoS table;
+* ``ti`` — thermodynamic-integration PMF over the window.
+
+Every command takes ``--seed`` and prints plain text (ASCII figures and
+aligned tables), so output is diffable and scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPICE reproduction: SMD-JE free energies on a "
+                    "simulated federated grid",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("structure", help="Fig. 1 structural summary")
+    p.add_argument("--bases", type=int, default=12)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("pmf", help="one SMD-JE PMF estimate")
+    p.add_argument("--kappa", type=float, default=100.0,
+                   help="spring constant in pN/A")
+    p.add_argument("--velocity", type=float, default=12.5,
+                   help="pulling velocity in A/ns")
+    p.add_argument("--samples", type=int, default=48)
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser("fig4", help="the full (kappa, v) parameter study")
+    p.add_argument("--samples", type=int, default=48)
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser("campaign", help="three-phase SPICE campaign")
+    p.add_argument("--replicas", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser("qos", help="IMD interactivity vs network QoS")
+    p.add_argument("--frames", type=int, default=80)
+    p.add_argument("--seed", type=int, default=3)
+
+    p = sub.add_parser("ti", help="thermodynamic-integration PMF")
+    p.add_argument("--replicas", type=int, default=16)
+    p.add_argument("--stations", type=int, default=21)
+    p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser("production",
+                       help="full-axis PMF from stitched sub-trajectories")
+    p.add_argument("--samples", type=int, default=24)
+    p.add_argument("--z-min", type=float, default=-30.0)
+    p.add_argument("--z-max", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=2005)
+
+    return parser
+
+
+def cmd_structure(args) -> int:
+    from .analysis import fig1_structure_table, render_cross_section
+    from .pore import build_translocation_simulation
+
+    ts = build_translocation_simulation(n_bases=args.bases, seed=args.seed)
+    print(fig1_structure_table(ts.pore.describe()).formatted())
+    print()
+    print(render_cross_section(ts.pore.geometry, ts.simulation.system.positions))
+    return 0
+
+
+def cmd_pmf(args) -> int:
+    from .analysis import Curve, FigureData, render_figure
+    from .core import estimate_pmf
+    from .pore import ReducedTranslocationModel, default_reduced_potential
+    from .smd import PullingProtocol, run_pulling_ensemble
+
+    model = ReducedTranslocationModel(default_reduced_potential())
+    proto = PullingProtocol(kappa_pn=args.kappa, velocity=args.velocity,
+                            distance=10.0, start_z=-5.0)
+    ens = run_pulling_ensemble(model, proto, n_samples=args.samples,
+                               seed=args.seed)
+    est = estimate_pmf(ens)
+    ref = model.reference_pmf(proto.start_z + est.displacements)
+    fig = FigureData(f"SMD-JE PMF ({proto.label()})",
+                     "displacement (A)", "Phi (kcal/mol)")
+    fig.add(Curve("estimate", est.displacements, est.values))
+    fig.add(Curve("exact", est.displacements, ref))
+    print(render_figure(fig))
+    print(f"\nmax |error|: {np.abs(est.values - ref).max():.2f} kcal/mol   "
+          f"cost (paper scale): {ens.cpu_hours:.0f} CPU-h")
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from .analysis import fig4_error_table
+    from .core import run_parameter_study
+    from .pore import ReducedTranslocationModel, default_reduced_potential
+    from .smd import parameter_grid
+
+    model = ReducedTranslocationModel(default_reduced_potential())
+    study = run_parameter_study(
+        model, protocols=parameter_grid(distance=10.0, start_z=-5.0),
+        n_samples=args.samples, seed=args.seed)
+    print(fig4_error_table(study).formatted())
+    k, v = study.optimal
+    print(f"\noptimal: kappa = {k:g} pN/A, v = {v:g} A/ns "
+          f"(paper: 100 pN/A, 12.5 A/ns)")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from .workflow import SpiceCampaign
+
+    result = SpiceCampaign(replicas_per_cell=args.replicas,
+                           seed=args.seed).run()
+    s = result.summary()
+    print(f"window:        {s['window'][0]:.1f} .. {s['window'][1]:.1f} A")
+    print(f"kappas probed: {s['kappa_candidates']} pN/A")
+    print(f"batch:         {s['n_jobs']} jobs, {s['campaign_cpu_hours']:.0f} "
+          f"CPU-h, {s['campaign_days']:.2f} days")
+    print(f"placement:     {result.batch.campaign.per_resource_jobs}")
+    print(f"optimal:       kappa = {s['optimal_kappa_pn']:g} pN/A, "
+          f"v = {s['optimal_velocity']:g} A/ns")
+    return 0
+
+
+def cmd_qos(args) -> int:
+    from .analysis import qos_table
+    from .imd import HapticDevice, IMDSession, ScriptedUser
+    from .md import SteeringForce
+    from .net import (CAMPUS_LAN, DEGRADED_INTERNET, LIGHTPATH,
+                      PRODUCTION_INTERNET)
+    from .pore import build_translocation_simulation
+
+    reports = {}
+    for label, qos in [("campus LAN", CAMPUS_LAN),
+                       ("lightpath", LIGHTPATH),
+                       ("production internet", PRODUCTION_INTERNET),
+                       ("degraded internet", DEGRADED_INTERNET)]:
+        ts = build_translocation_simulation(n_bases=6, seed=42)
+        sf = SteeringForce(ts.simulation.system.n)
+        ts.simulation.forces.append(sf)
+        user = ScriptedUser(HapticDevice(), target_z=-20.0, gain=0.5, seed=7)
+        session = IMDSession(ts.simulation, sf, ts.dna_indices, qos,
+                             user=user, steps_per_frame=50, seed=args.seed)
+        reports[label] = session.run(args.frames)
+    print(qos_table(reports).formatted())
+    return 0
+
+
+def cmd_ti(args) -> int:
+    from .analysis import Curve, FigureData, render_figure
+    from .core import TIProtocol, run_thermodynamic_integration
+    from .pore import ReducedTranslocationModel, default_reduced_potential
+
+    model = ReducedTranslocationModel(default_reduced_potential())
+    res = run_thermodynamic_integration(
+        model, TIProtocol(n_stations=args.stations),
+        n_replicas=args.replicas, seed=args.seed)
+    ref = model.reference_pmf(res.mean_positions, zero_at_start=False)
+    ref = ref - ref[0]
+    fig = FigureData("thermodynamic-integration PMF",
+                     "displacement (A)", "Phi (kcal/mol)")
+    fig.add(Curve("TI", res.pmf.displacements, res.pmf.values))
+    fig.add(Curve("exact", res.pmf.displacements, ref))
+    print(render_figure(fig))
+    print(f"\nrms error: {np.sqrt(np.mean((res.pmf.values - ref) ** 2)):.2f} "
+          f"kcal/mol   cost (paper scale): {res.cpu_hours:.0f} CPU-h")
+    return 0
+
+
+def cmd_production(args) -> int:
+    from .analysis import Curve, FigureData, render_figure
+    from .workflow import run_full_axis_production
+
+    res = run_full_axis_production(axis_range=(args.z_min, args.z_max),
+                                   n_samples=args.samples, seed=args.seed)
+    fig = FigureData("PMF along the pore axis (production)",
+                     "z (A)", "Phi (kcal/mol)")
+    fig.add(Curve("SMD-JE", res.z, res.pmf))
+    fig.add(Curve("exact", res.z, res.reference))
+    print(render_figure(fig, height=16))
+    drop = abs(res.reference[-1] - res.reference[0])
+    print(f"\n{res.n_windows} windows; rms error {res.rms_error:.1f} kcal/mol "
+          f"({100 * res.rms_error / drop:.1f}% of drop); "
+          f"constriction barrier {res.barrier_height():.1f} kcal/mol; "
+          f"cost {res.total_cpu_hours:.0f} CPU-h (paper scale)")
+    return 0
+
+
+_COMMANDS = {
+    "structure": cmd_structure,
+    "pmf": cmd_pmf,
+    "fig4": cmd_fig4,
+    "campaign": cmd_campaign,
+    "qos": cmd_qos,
+    "ti": cmd_ti,
+    "production": cmd_production,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

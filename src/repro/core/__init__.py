@@ -1,0 +1,60 @@
+"""SMD-JE core: Jarzynski estimators, PMF reconstruction, error analysis,
+and the (kappa, v) parameter optimizer — the paper's primary algorithmic
+contribution."""
+
+from .jarzynski import (
+    exponential_estimator,
+    cumulant_estimator,
+    block_estimator,
+    jarzynski_bias_estimate,
+)
+from .pmf import PMFEstimate, estimate_pmf, stiff_spring_correction
+from .error_analysis import (
+    bootstrap_statistical_error,
+    cost_normalization_factor,
+    cost_normalized_error,
+    systematic_error,
+    pairwise_consistency,
+    ErrorBudget,
+    analyze_ensemble,
+)
+from .optimizer import ParameterStudyResult, run_parameter_study, select_optimal
+from .ti import TIProtocol, TIResult, run_thermodynamic_integration
+from .wham import UmbrellaProtocol, WHAMResult, run_umbrella_sampling, wham
+from .diagnostics import (
+    ConvergenceReport,
+    convergence_report,
+    dominance,
+    effective_sample_size,
+)
+
+__all__ = [
+    "exponential_estimator",
+    "cumulant_estimator",
+    "block_estimator",
+    "jarzynski_bias_estimate",
+    "PMFEstimate",
+    "estimate_pmf",
+    "stiff_spring_correction",
+    "bootstrap_statistical_error",
+    "cost_normalization_factor",
+    "cost_normalized_error",
+    "systematic_error",
+    "pairwise_consistency",
+    "ErrorBudget",
+    "analyze_ensemble",
+    "ParameterStudyResult",
+    "run_parameter_study",
+    "select_optimal",
+    "TIProtocol",
+    "TIResult",
+    "run_thermodynamic_integration",
+    "UmbrellaProtocol",
+    "WHAMResult",
+    "run_umbrella_sampling",
+    "wham",
+    "ConvergenceReport",
+    "convergence_report",
+    "dominance",
+    "effective_sample_size",
+]

@@ -1,0 +1,148 @@
+"""PMF reconstruction from work ensembles.
+
+The potential of mean force Phi along the pore axis (the paper's central
+quantity) is estimated from a :class:`~repro.smd.work.WorkEnsemble` by one
+of the Jarzynski estimators, optionally with the stiff-spring correction.
+A :class:`PMFEstimate` bundles the curve with its provenance so the error
+analysis and plotting layers need nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AnalysisError, ConfigurationError
+from ..smd.work import WorkEnsemble
+from ..units import KB
+from .jarzynski import cumulant_estimator, exponential_estimator
+
+__all__ = ["PMFEstimate", "estimate_pmf", "stiff_spring_correction"]
+
+_ESTIMATORS = {
+    "exponential": exponential_estimator,
+    "cumulant": cumulant_estimator,
+}
+
+
+@dataclass
+class PMFEstimate:
+    """An estimated free-energy profile.
+
+    Attributes
+    ----------
+    displacements:
+        ``(g,)`` trap displacements from the pull start (A).
+    values:
+        ``(g,)`` PMF (kcal/mol), zeroed at the first station.
+    kappa_pn / velocity:
+        Protocol parameters, for labelling.
+    estimator:
+        Which Jarzynski estimator produced the curve.
+    n_samples:
+        Ensemble size behind the estimate.
+    cpu_hours:
+        Modelled cost of the underlying ensemble.
+    """
+
+    displacements: np.ndarray
+    values: np.ndarray
+    kappa_pn: float
+    velocity: float
+    estimator: str
+    n_samples: int
+    temperature: float
+    cpu_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.displacements = np.asarray(self.displacements, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.displacements.shape != self.values.shape:
+            raise ConfigurationError("displacement/value shape mismatch")
+
+    def rezeroed(self) -> "PMFEstimate":
+        """Copy with the profile zeroed at its first station."""
+        vals = self.values - self.values[0]
+        return PMFEstimate(
+            self.displacements, vals, self.kappa_pn, self.velocity,
+            self.estimator, self.n_samples, self.temperature, self.cpu_hours,
+        )
+
+    def interpolated(self, displacements: np.ndarray) -> np.ndarray:
+        """Linear interpolation onto another displacement grid."""
+        d = np.asarray(displacements, dtype=np.float64)
+        if d.min() < self.displacements[0] - 1e-9 or d.max() > self.displacements[-1] + 1e-9:
+            raise AnalysisError("interpolation grid outside estimate support")
+        return np.interp(d, self.displacements, self.values)
+
+    def label(self) -> str:
+        return f"kappa={self.kappa_pn:g}pN/A v={self.velocity:g}A/ns ({self.estimator})"
+
+
+def estimate_pmf(
+    ensemble: WorkEnsemble,
+    estimator: str = "exponential",
+    stiff_spring: bool = False,
+) -> PMFEstimate:
+    """Estimate the PMF from a work ensemble.
+
+    Parameters
+    ----------
+    estimator:
+        ``"exponential"`` (direct Jarzynski) or ``"cumulant"`` (2nd order).
+    stiff_spring:
+        Apply the second-order stiff-spring deconvolution
+        (:func:`stiff_spring_correction`) to recover the unbiased surface
+        from the trap-coordinate free energy.
+    """
+    try:
+        fn = _ESTIMATORS[estimator]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown estimator {estimator!r}; choose from {sorted(_ESTIMATORS)}"
+        ) from None
+    values = fn(ensemble.works, ensemble.temperature)
+    values = values - values[0]
+    if stiff_spring:
+        values = stiff_spring_correction(
+            ensemble.displacements, values, ensemble.protocol.kappa_internal
+        )
+        values = values - values[0]
+    return PMFEstimate(
+        displacements=ensemble.displacements.copy(),
+        values=values,
+        kappa_pn=ensemble.protocol.kappa_pn,
+        velocity=ensemble.protocol.velocity,
+        estimator=estimator,
+        n_samples=ensemble.n_samples,
+        temperature=ensemble.temperature,
+        cpu_hours=ensemble.cpu_hours,
+    )
+
+
+def stiff_spring_correction(
+    displacements: np.ndarray, pmf_lambda: np.ndarray, kappa: float
+) -> np.ndarray:
+    """Second-order stiff-spring correction (Park & Schulten 2003, Eq. 30).
+
+    The Jarzynski estimate is the free energy of the *trap coordinate*
+    lambda; the underlying surface Phi(z) relates via::
+
+        Phi(z) ~= Phi_lambda(z) - (Phi_lambda')^2 / (2 kappa)
+                  + kT Phi_lambda'' / (2 kappa) ...
+
+    We apply the leading ``-(Phi')^2/(2 kappa)`` term with finite-difference
+    derivatives.  For kappa = 100 pN/A and typical slopes (~15 kcal/mol/A)
+    the correction is ~1 kcal/mol; for kappa = 10 pN/A it is ~10x larger —
+    quantifying why soft springs blur the PMF.
+    """
+    d = np.asarray(displacements, dtype=np.float64)
+    f = np.asarray(pmf_lambda, dtype=np.float64)
+    if kappa <= 0.0:
+        raise ConfigurationError("kappa must be positive")
+    if d.size != f.size or d.size < 3:
+        raise AnalysisError("need >= 3 points for the stiff-spring correction")
+    slope = np.gradient(f, d)
+    return f - slope**2 / (2.0 * kappa)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the SPICE reproduction package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch package errors without masking programming mistakes (``TypeError``,
+``ValueError`` from NumPy, etc. still propagate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SteeringError",
+    "NetworkError",
+    "UnreachableHostError",
+    "GridError",
+    "SchedulingError",
+    "ReservationError",
+    "CoSchedulingError",
+    "CheckpointError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The MD engine or a reduced model entered an invalid state
+    (non-finite coordinates, broken topology, exploding integration)."""
+
+
+class SteeringError(ReproError):
+    """Steering-framework protocol violation (unknown parameter, message to
+    an unattached component, malformed control message)."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failure (channel closed, transport exhausted)."""
+
+
+class UnreachableHostError(NetworkError):
+    """A connection was attempted to a hidden-IP host with no gateway route.
+
+    This models the "hidden IP address" problem of Section V-C1 of the paper.
+    """
+
+
+class GridError(ReproError):
+    """Base class for grid-substrate errors."""
+
+
+class SchedulingError(GridError):
+    """A job could not be scheduled (too large for any resource, queue
+    closed, malformed request)."""
+
+
+class ReservationError(GridError):
+    """An advance reservation could not be placed or was irrecoverably
+    mis-configured by the (simulated) administrators."""
+
+
+class CoSchedulingError(GridError):
+    """Co-allocation across resources/grids failed (Section V-C3/C6)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint serialization/restore failure, or invalid checkpoint-tree
+    operation (e.g. cloning a node that was never committed)."""
+
+
+class AnalysisError(ReproError):
+    """Analysis-layer failure (incompatible grids, empty ensembles)."""

@@ -1,0 +1,76 @@
+"""Discrete-event simulation core for the grid substrate.
+
+A deterministic event loop: events are ``(time, seq, callback)`` ordered by
+time with insertion-order tie-breaking, so runs are exactly reproducible.
+Time is simulated wall-clock time in **hours** throughout the grid package
+(the natural unit for batch queues and week-long campaigns).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ConfigurationError, GridError
+
+__all__ = ["EventLoop"]
+
+
+class EventLoop:
+    """Deterministic discrete-event loop (time unit: hours)."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` hours from now."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ConfigurationError(
+                f"cannot schedule at t={time} (now={self.now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), callback))
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events until the queue is empty or ``until`` is reached.
+
+        Returns the final simulation time.  ``max_events`` guards against
+        runaway self-scheduling loops.
+        """
+        if self._running:
+            raise GridError("event loop is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = time
+                callback()
+                processed += 1
+                self.events_processed += 1
+                if processed > max_events:
+                    raise GridError(f"event budget exceeded ({max_events})")
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

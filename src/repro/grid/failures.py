@@ -1,0 +1,77 @@
+"""Failure injection: the Section V-C4 reliability lessons.
+
+"Hardware failure and security issues cause serious disruption, especially
+if there are single points of failure.  For example, for a duration close to
+SC05, the number of UK resources whose utilization could be coordinated with
+the US TeraGrid nodes was reduced to one.  As luck would have it there was
+then a security breach on that one UK node.  It took several weeks to
+sanitize that node..."
+
+:class:`FailureInjector` schedules that scenario (and generic random
+hardware failures) against batch queues; the redundancy benchmark compares
+campaign time-to-solution with and without redundant UK capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, as_generator
+from .scheduler import BatchQueue
+
+__all__ = ["FailureInjector", "SECURITY_BREACH_WEEKS"]
+
+#: "It took several weeks to sanitize that node" — we use three.
+SECURITY_BREACH_WEEKS: float = 3.0
+
+
+class FailureInjector:
+    """Schedules outages against batch queues on their shared loop."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self.rng = as_generator(seed)
+        self.injected: List[Tuple[str, float, float, str]] = []
+
+    def security_breach(
+        self,
+        queue: BatchQueue,
+        at_hours: float,
+        weeks: float = SECURITY_BREACH_WEEKS,
+    ) -> None:
+        """The SC05 scenario: a node is compromised and sanitized for weeks."""
+        if weeks <= 0:
+            raise ConfigurationError("breach duration must be positive")
+        duration = weeks * 7.0 * 24.0
+        queue.schedule_outage(at_hours, duration, reason="security breach")
+        self.injected.append((queue.resource.name, at_hours, duration, "security breach"))
+
+    def hardware_failure(
+        self,
+        queue: BatchQueue,
+        at_hours: float,
+        repair_hours: float = 12.0,
+    ) -> None:
+        """A shorter, repairable outage."""
+        queue.schedule_outage(at_hours, repair_hours, reason="hardware failure")
+        self.injected.append((queue.resource.name, at_hours, repair_hours, "hardware failure"))
+
+    def random_failures(
+        self,
+        queues: Sequence[BatchQueue],
+        horizon_hours: float,
+        mtbf_hours: float = 500.0,
+        repair_hours: float = 12.0,
+    ) -> int:
+        """Poisson hardware failures over a horizon; returns count injected."""
+        if mtbf_hours <= 0 or horizon_hours <= 0:
+            raise ConfigurationError("mtbf and horizon must be positive")
+        n_injected = 0
+        for q in queues:
+            t = float(self.rng.exponential(mtbf_hours))
+            while t < horizon_hours:
+                self.hardware_failure(q, at_hours=t, repair_hours=repair_hours)
+                t += repair_hours + float(self.rng.exponential(mtbf_hours))
+                n_injected += 1
+        return n_injected

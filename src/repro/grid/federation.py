@@ -1,0 +1,232 @@
+"""Grids, the federation, and campaign execution.
+
+A :class:`Grid` is a named collection of resources with their batch queues
+(TeraGrid, NGS); a :class:`FederatedGrid` is the grid-of-grids of paper
+Fig. 5.  :class:`CampaignManager` runs a job campaign over the federation:
+jobs are placed greedily on the eligible queue with the earliest estimated
+start, killed jobs (outages) are automatically resubmitted elsewhere — the
+"as luck would have it" security-breach scenario — and the final report
+carries makespan, waits and utilization for the batch-phase benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, SchedulingError
+from .des import EventLoop
+from .jobs import Job, JobState
+from .resources import ComputeResource
+from .scheduler import BatchQueue
+
+__all__ = ["Grid", "FederatedGrid", "CampaignReport", "CampaignManager"]
+
+
+class Grid:
+    """One administrative grid: named resources sharing an event loop."""
+
+    def __init__(self, name: str, resources: Sequence[ComputeResource],
+                 loop: EventLoop) -> None:
+        if not resources:
+            raise ConfigurationError(f"grid {name!r} needs at least one resource")
+        self.name = name
+        self.loop = loop
+        self.queues: Dict[str, BatchQueue] = {
+            r.name: BatchQueue(r, loop) for r in resources
+        }
+
+    @property
+    def resources(self) -> List[ComputeResource]:
+        return [q.resource for q in self.queues.values()]
+
+    def queue(self, resource_name: str) -> BatchQueue:
+        try:
+            return self.queues[resource_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"grid {self.name!r} has no resource {resource_name!r}"
+            ) from None
+
+    def total_capacity(self) -> int:
+        return sum(q.capacity for q in self.queues.values())
+
+
+class FederatedGrid:
+    """The grid-of-grids: several :class:`Grid` instances on one loop."""
+
+    def __init__(self, grids: Sequence[Grid]) -> None:
+        if not grids:
+            raise ConfigurationError("federation needs at least one grid")
+        loops = {id(g.loop) for g in grids}
+        if len(loops) != 1:
+            raise ConfigurationError("all grids must share one event loop")
+        self.grids = list(grids)
+        self.loop = grids[0].loop
+
+    def all_queues(self) -> Dict[str, BatchQueue]:
+        out: Dict[str, BatchQueue] = {}
+        for g in self.grids:
+            for name, q in g.queues.items():
+                if name in out:
+                    raise ConfigurationError(f"duplicate resource name {name!r}")
+                out[name] = q
+        return out
+
+    def total_capacity(self) -> int:
+        return sum(g.total_capacity() for g in self.grids)
+
+
+@dataclass
+class CampaignReport:
+    """Results of a completed campaign."""
+
+    makespan_hours: float
+    completed: List[Job]
+    unplaced: List[Job]
+    total_cpu_hours: float
+    per_resource_jobs: Dict[str, int]
+    per_resource_utilization: Dict[str, float]
+    requeues: int
+
+    @property
+    def all_completed(self) -> bool:
+        return not self.unplaced and bool(self.completed)
+
+    @property
+    def mean_wait_hours(self) -> float:
+        waits = [j.wait_hours for j in self.completed if j.wait_hours is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+
+class CampaignManager:
+    """Runs a set of jobs to completion over a federation.
+
+    Placement: for each job, among queues that (a) expose enough capacity
+    and (b) satisfy connectivity constraints (steering-required jobs need an
+    externally reachable, lightpath-equipped site), pick the queue with the
+    earliest *estimated* start (backlog work / capacity) — the greedy
+    least-loaded heuristic a human broker (or the paper's scientists,
+    by hand) would use.
+
+    Requeue: a monitor event every ``requeue_check_hours`` resubmits jobs
+    killed by outages to the currently-best other queue.
+    """
+
+    def __init__(self, federation: FederatedGrid, requeue_check_hours: float = 1.0) -> None:
+        if requeue_check_hours <= 0:
+            raise ConfigurationError("requeue_check_hours must be positive")
+        self.federation = federation
+        self.loop = federation.loop
+        self.requeue_check_hours = float(requeue_check_hours)
+        self.unplaced: List[Job] = []
+        self._jobs: List[Job] = []
+
+    # -- placement ------------------------------------------------------------
+
+    def eligible_queues(self, job: Job) -> List[BatchQueue]:
+        out = []
+        for q in self.federation.all_queues().values():
+            if job.procs > q.capacity:
+                continue
+            if job.steering_required and not (
+                q.resource.externally_reachable and q.resource.lightpath
+            ):
+                continue
+            out.append(q)
+        return out
+
+    @staticmethod
+    def estimated_start(queue: BatchQueue, job: Job) -> float:
+        """Crude backlog estimate: pending + running work over capacity."""
+        backlog = sum(
+            j.procs * queue.resource.wall_hours(j.remaining_duration_hours)
+            for j in queue.waiting
+        )
+        running = sum(
+            (end - queue.loop.now) * j.procs for j, end in queue.running.values()
+        )
+        if queue.down:
+            backlog += queue.capacity * 1000.0  # effectively never
+        return (backlog + running) / queue.capacity
+
+    def place(self, job: Job) -> Optional[BatchQueue]:
+        """Submit one job to the best eligible queue (None if none exists)."""
+        candidates = self.eligible_queues(job)
+        if not candidates:
+            self.unplaced.append(job)
+            return None
+        best = min(candidates, key=lambda q: (self.estimated_start(q, job), q.resource.name))
+        best.submit(job)
+        return best
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job], until: Optional[float] = None) -> CampaignReport:
+        """Place all jobs, run the loop to completion, return the report."""
+        self._jobs = list(jobs)
+        for job in self._jobs:
+            self.place(job)
+        self._schedule_requeue_check()
+        self.loop.run(until=until)
+        return self._report()
+
+    def _schedule_requeue_check(self) -> None:
+        def check() -> None:
+            requeued_any = False
+            for q in self.federation.all_queues().values():
+                while q.killed:
+                    job = q.killed.pop()
+                    job.reset_for_requeue()
+                    self.place(job)
+                    requeued_any = True
+                # Jobs still waiting on a downed machine are migrated too —
+                # if a live alternative exists.  With no alternative they
+                # stay queued for weeks: the single-point-of-failure
+                # pathology the paper complains about.
+                if q.down and q.waiting:
+                    for job in list(q.waiting):
+                        alternatives = [
+                            c for c in self.eligible_queues(job)
+                            if c is not q and not c.down
+                        ]
+                        if not alternatives:
+                            continue
+                        q.waiting.remove(job)
+                        job.reset_for_requeue()
+                        best = min(
+                            alternatives,
+                            key=lambda c: (self.estimated_start(c, job),
+                                           c.resource.name),
+                        )
+                        best.submit(job)
+                        requeued_any = True
+            # Keep checking while work remains anywhere.
+            if requeued_any or any(
+                q.waiting or q.running
+                for q in self.federation.all_queues().values()
+            ):
+                self.loop.schedule(self.requeue_check_hours, check)
+
+        self.loop.schedule(self.requeue_check_hours, check)
+
+    def _report(self) -> CampaignReport:
+        completed = [j for j in self._jobs if j.state is JobState.COMPLETED]
+        makespan = max((j.end_time for j in completed if j.end_time is not None),
+                       default=0.0)
+        per_resource: Dict[str, int] = {}
+        for j in completed:
+            per_resource[j.resource or "?"] = per_resource.get(j.resource or "?", 0) + 1
+        util = {
+            name: q.utilization(horizon=makespan if makespan > 0 else None)
+            for name, q in self.federation.all_queues().items()
+        }
+        return CampaignReport(
+            makespan_hours=makespan,
+            completed=completed,
+            unplaced=list(self.unplaced),
+            total_cpu_hours=sum(j.cpu_hours for j in completed),
+            per_resource_jobs=per_resource,
+            per_resource_utilization=util,
+            requeues=sum(j.requeues for j in self._jobs),
+        )

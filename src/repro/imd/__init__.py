@@ -1,0 +1,9 @@
+"""Interactive molecular dynamics: the visualizer-steered closed loop with
+haptic input, and the interactivity metrics that quantify the paper's
+network-QoS requirements."""
+
+from .metrics import InteractivityReport
+from .haptic import HapticDevice, ScriptedUser
+from .session import IMDSession
+
+__all__ = ["InteractivityReport", "HapticDevice", "ScriptedUser", "IMDSession"]

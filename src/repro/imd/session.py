@@ -1,0 +1,199 @@
+"""The interactive-MD closed loop.
+
+Paper Section III: "In interactive mode, the user sends data back to the
+simulation running on a remote supercomputer, via the visualizer, so that
+the simulation can compute the changes introduced by the user.  When using
+256 processors (or more) of an expensive high-end supercomputer it is not
+acceptable that the simulation be stalled (or even slowed down) due to
+unreliable communication between the simulation and the visualization."
+
+:class:`IMDSession` runs that loop on logical time:
+
+1. the simulation computes ``steps_per_frame`` MD steps (costing modelled
+   wall time on the remote machine),
+2. ships a frame to the visualizer over the *down* channel,
+3. the visualizer renders and immediately returns a control message (the
+   haptic stream's current force; the scripted user's *reaction time*
+   delays which force value the stream carries, not the message cadence),
+4. the loop is **pipelined with flow control**: the simulation may run at
+   most ``window`` frames ahead of the last control it has received —
+   exactly the reliable bi-directional dependency of the paper.  On a
+   clean network controls keep pace and the simulation never waits; when
+   jitter, loss and retransmission timeouts delay a control past the
+   window, the simulation stalls on its expensive allocation.
+
+The same loop with lightpath vs production-internet channels is the EXP-QOS
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..md.engine import Simulation
+from ..md.external import SteeringForce
+from ..net.channel import ReliableChannel
+from ..net.qos import QoSSpec
+from ..rng import SeedLike, as_generator, spawn
+from .haptic import HapticDevice, ScriptedUser
+from .metrics import InteractivityReport
+
+__all__ = ["IMDSession"]
+
+
+class IMDSession:
+    """Closed-loop interactive MD over a simulated network.
+
+    Parameters
+    ----------
+    simulation:
+        The MD engine instance (its force stack must include
+        ``steering_force``).
+    steering_force:
+        The mutable force term user commands are applied to.
+    dna_indices:
+        Atom selection the user steers.
+    qos:
+        Link characteristics used for both directions.
+    user:
+        Scripted scientist; if None, the loop still round-trips an empty
+        control message (the synchronization cost is what matters).
+    steps_per_frame:
+        MD steps computed between frames.
+    seconds_per_step:
+        Modelled wall seconds per MD step on the remote machine (a
+        300k-atom system on 256 processors manages ~2 ms/step in 2005).
+    frame_bytes / control_bytes:
+        Message sizes for the two directions (frames are heavy, controls
+        light).
+    window:
+        Flow-control window: how many frames the simulation may compute
+        beyond the newest control received.  The default of 2 models the
+        tight coupling of haptic steering: latency physics (one frame in
+        flight) is absorbed, jitter/loss spikes are not.
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        steering_force: SteeringForce,
+        dna_indices: np.ndarray,
+        qos: QoSSpec,
+        user: Optional[ScriptedUser] = None,
+        steps_per_frame: int = 50,
+        seconds_per_step: float = 2.0e-3,
+        frame_bytes: int = 200_000,
+        control_bytes: int = 512,
+        render_time_s: float = 0.02,
+        window: int = 2,
+        seed: SeedLike = None,
+    ) -> None:
+        if steps_per_frame <= 0 or seconds_per_step <= 0:
+            raise ConfigurationError("steps_per_frame and seconds_per_step must be positive")
+        if render_time_s < 0:
+            raise ConfigurationError("render_time_s cannot be negative")
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        self.simulation = simulation
+        self.steering_force = steering_force
+        self.dna_indices = np.asarray(dna_indices, dtype=np.intp)
+        rng = as_generator(seed)
+        down_rng, up_rng = spawn(rng, 2)
+        self.down = ReliableChannel(qos, seed=down_rng)   # sim -> viz
+        self.up = ReliableChannel(qos, seed=up_rng)       # viz -> sim
+        self.user = user
+        self.steps_per_frame = int(steps_per_frame)
+        self.seconds_per_step = float(seconds_per_step)
+        self.frame_bytes = int(frame_bytes)
+        self.control_bytes = int(control_bytes)
+        self.render_time_s = float(render_time_s)
+        self.window = int(window)
+
+    def run(self, n_frames: int) -> InteractivityReport:
+        """Run the pipelined closed loop for ``n_frames`` exchanges."""
+        if n_frames <= 0:
+            raise ConfigurationError("n_frames must be positive")
+        compute_time = 0.0
+        stall_time = 0.0
+        frame_stalls = []
+        round_trips = []
+        # control_arrivals[k] = when the control answering frame k reached
+        # the simulation.  User force commands await application in
+        # (ready_time, force) send order; the newest ripe command wins.
+        control_arrivals: list[float] = []
+        pending_commands: list[tuple[float, np.ndarray]] = []
+
+        frame_compute = self.steps_per_frame * self.seconds_per_step
+        finish = 0.0
+        for k in range(n_frames):
+            # Flow control: frame k may only start once the control for
+            # frame k - window has arrived.
+            gate = k - self.window
+            earliest = control_arrivals[gate] if gate >= 0 else 0.0
+            start = max(finish, earliest)
+            stall = start - finish
+            stall_time += stall
+            frame_stalls.append(stall)
+
+            # Apply the newest user force whose command has reached us.
+            ripe = [cmd for cmd in pending_commands if cmd[0] <= start]
+            if ripe:
+                self.steering_force.apply(self.dna_indices, ripe[-1][1])
+                self.simulation.invalidate_caches()
+                pending_commands = [c for c in pending_commands if c[0] > start]
+
+            # 1. compute the chunk of MD.
+            self.simulation.step(self.steps_per_frame)
+            finish = start + frame_compute
+            compute_time += frame_compute
+
+            # 2. frame to the visualizer; render.
+            down = self.down.transmit(finish, self.frame_bytes)
+            viz_time = down.arrival_time + self.render_time_s
+
+            # 3. the haptic stream returns a control immediately; the
+            # scripted user's reaction delay decides *which force value*
+            # the stream carries once it lands.
+            if self.user is not None:
+                frame = _summarize(self.simulation, self.dna_indices, viz_time)
+                ready, force = self.user.react(frame, viz_time)
+                self.user.device.feel(ready, float(np.linalg.norm(force)))
+            else:
+                ready, force = viz_time, None
+
+            # 4. control returns over the up channel.
+            up = self.up.transmit(viz_time, self.control_bytes)
+            control_arrivals.append(up.arrival_time)
+            round_trips.append(up.arrival_time - finish)
+            if force is not None:
+                pending_commands.append((max(up.arrival_time, ready), force))
+
+        # Wall time ends when the last frame's compute finishes (the
+        # allocation is released; remaining in-flight controls are moot).
+        return InteractivityReport(
+            n_frames=n_frames,
+            compute_time=compute_time,
+            stall_time=stall_time,
+            wall_time=finish,
+            frame_stalls=frame_stalls,
+            round_trip_delays=round_trips,
+        )
+
+
+def _summarize(simulation: Simulation, indices: np.ndarray, received_at: float):
+    """Build a RenderedFrame-compatible summary without the full viz stack."""
+    from ..steering.visualizer import RenderedFrame
+
+    pos = simulation.system.positions[indices]
+    return RenderedFrame(
+        step=simulation.step_count,
+        time_ns=simulation.time,
+        received_at=received_at,
+        n_particles=pos.shape[0],
+        com=pos.mean(axis=0),
+        extent=pos.max(axis=0) - pos.min(axis=0),
+    )

@@ -1,0 +1,31 @@
+"""Simulated network substrate: QoS links, reliable channels, hidden IPs.
+
+Replaces the paper's physical networking — optical lightpaths, the
+production internet, hidden-IP clusters and gateway nodes — with
+parameterized models driven by logical time.
+"""
+
+from .qos import (
+    QoSSpec,
+    LIGHTPATH,
+    PRODUCTION_INTERNET,
+    DEGRADED_INTERNET,
+    CAMPUS_LAN,
+)
+from .channel import ReliableChannel, TransferResult, ChannelStats
+from .nat import Host, GatewayNode, Route, NetworkFabric
+
+__all__ = [
+    "QoSSpec",
+    "LIGHTPATH",
+    "PRODUCTION_INTERNET",
+    "DEGRADED_INTERNET",
+    "CAMPUS_LAN",
+    "ReliableChannel",
+    "TransferResult",
+    "ChannelStats",
+    "Host",
+    "GatewayNode",
+    "Route",
+    "NetworkFabric",
+]

@@ -1,0 +1,107 @@
+"""Network quality-of-service models.
+
+The paper's central networking claim (Sections II-III): interactive MD
+"requires high quality-of-service — as defined by low latency, jitter and
+packet loss — networks", which in 2005 meant optical lightpaths
+(UKLight / the Global Lambda Infrastructure Facility) rather than the
+production internet.  A :class:`QoSSpec` captures exactly those three
+parameters plus bandwidth; presets encode the two network classes the paper
+contrasts (plus a campus LAN for locality baselines).
+
+Delays are sampled, not averaged: jitter matters precisely because the IMD
+loop stalls on the *tail* of the delay distribution, not its mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "QoSSpec",
+    "LIGHTPATH",
+    "PRODUCTION_INTERNET",
+    "CAMPUS_LAN",
+    "DEGRADED_INTERNET",
+]
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """One-way link characteristics.
+
+    Attributes
+    ----------
+    latency_ms:
+        Propagation + switching delay, one way (ms).
+    jitter_ms:
+        Scale of delay variation (half-normal, ms); the tail that stalls
+        interactive loops.
+    loss_rate:
+        Per-message loss probability (retransmission is the transport's
+        job — see :mod:`repro.net.channel`).
+    bandwidth_mbps:
+        Serialization bandwidth in megabits/s.
+    """
+
+    latency_ms: float
+    jitter_ms: float
+    loss_rate: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ConfigurationError("latency and jitter must be non-negative")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ConfigurationError("loss_rate must be in [0, 1)")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    def serialization_delay_s(self, size_bytes: int) -> float:
+        """Time to push ``size_bytes`` onto the wire (s)."""
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        return size_bytes * 8.0 / (self.bandwidth_mbps * 1e6)
+
+    def sample_delay_s(self, rng: np.random.Generator, size_bytes: int = 0) -> float:
+        """One-way delivery delay for a single transmission attempt (s).
+
+        latency + half-normal jitter + serialization.
+        """
+        jitter = abs(rng.standard_normal()) * self.jitter_ms * 1e-3
+        return self.latency_ms * 1e-3 + jitter + self.serialization_delay_s(size_bytes)
+
+    def sample_loss(self, rng: np.random.Generator) -> bool:
+        """Whether a single transmission attempt is lost."""
+        return bool(rng.random() < self.loss_rate)
+
+    def scaled_latency(self, factor: float) -> "QoSSpec":
+        """Copy with latency scaled (e.g. extra gateway hops)."""
+        return QoSSpec(self.latency_ms * factor, self.jitter_ms,
+                       self.loss_rate, self.bandwidth_mbps)
+
+
+#: Trans-Atlantic optical lightpath (UKLight/GLIF): the propagation delay is
+#: physics (~30 ms one way London-Chicago) but jitter and loss are near zero
+#: and bandwidth is the full lambda.
+LIGHTPATH = QoSSpec(latency_ms=30.0, jitter_ms=0.05, loss_rate=1e-6,
+                    bandwidth_mbps=1000.0)
+
+#: Production internet over the same distance: similar base latency but
+#: heavy jitter and real loss — the network the paper says is "not
+#: acceptable" for steering a 256-processor simulation.
+PRODUCTION_INTERNET = QoSSpec(latency_ms=45.0, jitter_ms=15.0, loss_rate=5e-3,
+                              bandwidth_mbps=100.0)
+
+#: Badly congested shared network (conference-floor wireless, saturated
+#: transit): used for the QoS sweep's pessimistic end.
+DEGRADED_INTERNET = QoSSpec(latency_ms=80.0, jitter_ms=40.0, loss_rate=3e-2,
+                            bandwidth_mbps=20.0)
+
+#: Same-campus connection (simulation and visualization co-located — the
+#: luxury the paper explains is "rather unlikely" for 256-processor runs).
+CAMPUS_LAN = QoSSpec(latency_ms=0.5, jitter_ms=0.05, loss_rate=1e-6,
+                     bandwidth_mbps=1000.0)

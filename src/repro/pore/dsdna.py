@@ -1,0 +1,155 @@
+"""Coarse-grained double-stranded DNA builder.
+
+The paper's introduction motivates translocation of "DNA, RNA and
+poly-peptides" generally; hemolysin passes only single strands, but wider
+pores (see :func:`repro.pore.presets.solid_state_nanopore`) translocate
+duplexes.  This builder produces a two-bead-per-basepair CG duplex:
+
+* two antiparallel backbones (FENE bonds + angles, as ssDNA),
+* inter-strand pairing bonds (harmonic, the hydrogen-bonded rungs),
+* backbone dihedrals giving the duplex its helical twist — the term that
+  exercises :class:`repro.md.dihedrals.DihedralForce`.
+
+Returns a :class:`DuplexSystem`: backbone and rung bonds live in separate
+topologies because they are different force types (FENE vs harmonic — a
+harmonic rest length fed to FENE as rmax would sit exactly at the FENE
+singularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..md.topology import Topology, TopologyBuilder
+from ..rng import SeedLike, as_generator
+from .dna import SSDNAParameters
+
+__all__ = ["DSDNAParameters", "DuplexSystem", "build_dsdna"]
+
+
+@dataclass(frozen=True)
+class DSDNAParameters:
+    """Force-field parameters of the CG duplex."""
+
+    backbone: SSDNAParameters = SSDNAParameters(rise=3.4)  # B-DNA rise
+    pairing_k: float = 3.0
+    pairing_r0: float = 10.0      # backbone-to-backbone rung length
+    twist_per_bp: float = np.deg2rad(36.0)  # B-DNA: ~10.5 bp/turn
+    twist_k: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.pairing_k < 0 or self.pairing_r0 <= 0:
+            raise ConfigurationError("invalid pairing parameters")
+        if self.twist_k < 0:
+            raise ConfigurationError("twist_k must be >= 0")
+
+
+@dataclass
+class DuplexSystem:
+    """A built CG duplex.
+
+    ``backbone`` carries the FENE bonds + bend angles of both strands;
+    ``rungs`` carries the harmonic pairing bonds; ``dihedrals`` is ready
+    for :class:`~repro.md.dihedrals.DihedralForce`.
+    """
+
+    positions: np.ndarray
+    masses: np.ndarray
+    charges: np.ndarray
+    backbone: Topology
+    rungs: Topology
+    dihedrals: dict
+
+    def exclusions(self) -> set:
+        """Nonbonded exclusions: backbone 1-2/1-3 plus the rungs."""
+        return self.backbone.exclusion_pairs() | self.rungs.exclusion_pairs()
+
+
+def build_dsdna(
+    n_basepairs: int,
+    params: DSDNAParameters = DSDNAParameters(),
+    start: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+    wiggle: float = 0.2,
+    seed: SeedLike = None,
+) -> DuplexSystem:
+    """Build an ``n_basepairs`` CG duplex along +z.
+
+    Layout: bead ``2i`` is strand A, bead ``2i + 1`` strand B of basepair
+    ``i``; the strands spiral around the axis with the B-DNA twist.
+    """
+    if n_basepairs < 2:
+        raise ConfigurationError("need at least 2 basepairs")
+    rng = as_generator(seed)
+    bp = params.backbone
+    radius = params.pairing_r0 / 2.0
+
+    n = 2 * n_basepairs
+    positions = np.empty((n, 3))
+    origin = np.asarray(start, dtype=np.float64)
+    for i in range(n_basepairs):
+        phi = i * params.twist_per_bp
+        z = i * bp.rise
+        positions[2 * i] = origin + [radius * np.cos(phi),
+                                     radius * np.sin(phi), z]
+        positions[2 * i + 1] = origin + [radius * np.cos(phi + np.pi),
+                                         radius * np.sin(phi + np.pi), z]
+    # Topology references (angles, dihedral phases) are taken from the
+    # ideal helix; the wiggle perturbation is applied afterwards.
+
+    masses = np.full(n, bp.bead_mass)
+    charges = np.full(n, bp.bead_charge)
+
+    builder = TopologyBuilder(n)
+    segment = float(np.hypot(
+        bp.rise, 2.0 * radius * np.sin(params.twist_per_bp / 2.0)
+    ))
+    rmax = bp.fene_rmax_factor * segment
+    # The helix's own backbone bend angle becomes the angle reference, so
+    # the built duplex is a local minimum of every bonded term.
+    def built_angle(idx):
+        a, b, c = positions[idx[0]], positions[idx[1]], positions[idx[2]]
+        u, v = a - b, c - b
+        return float(np.arccos(np.clip(
+            u @ v / (np.linalg.norm(u) * np.linalg.norm(v)), -1.0, 1.0)))
+
+    # Backbones (strand A: even beads; strand B: odd beads) — FENE + angles.
+    for strand in (0, 1):
+        idx = list(range(strand, n, 2))
+        for a, b in zip(idx, idx[1:]):
+            builder.add_bond(a, b, bp.fene_k, rmax)
+        for a, b, c in zip(idx, idx[1:], idx[2:]):
+            builder.add_angle(a, b, c, bp.angle_k, built_angle((a, b, c)))
+    backbone = builder.build()
+    # Pairing rungs — harmonic (k, r0), their own topology.
+    rung_builder = TopologyBuilder(n)
+    for i in range(n_basepairs):
+        rung_builder.add_bond(2 * i, 2 * i + 1, params.pairing_k,
+                              params.pairing_r0)
+    rungs = rung_builder.build()
+
+    # Twist dihedrals about each rung: (A_i, A_{i+1}? ...) — use the
+    # quadruple (A_i, B_i, B_{i+1}, A_{i+1}) around the inter-rung axis,
+    # which measures the helical twist between consecutive basepairs.
+    quads = []
+    for i in range(n_basepairs - 1):
+        quads.append([2 * i, 2 * i + 1, 2 * (i + 1) + 1, 2 * (i + 1)])
+    from ..md.dihedrals import measure_dihedrals
+
+    quads_arr = np.asarray(quads, dtype=np.intp)
+    # Anchor each dihedral's phase to the built geometry so the relaxed
+    # structure is the energy minimum (cos(n*phi - phi0) max at built phi).
+    built = measure_dihedrals(positions, quads_arr)
+    dihedrals = {
+        "quads": quads_arr,
+        "k": np.full(len(quads), params.twist_k),
+        "n": np.ones(len(quads)),
+        "phi0": built + np.pi,  # minimum (not maximum) at the built twist
+    }
+    if wiggle > 0:
+        positions += rng.normal(scale=wiggle, size=positions.shape)
+    return DuplexSystem(positions=positions, masses=masses, charges=charges,
+                        backbone=backbone, rungs=rungs, dihedrals=dihedrals)

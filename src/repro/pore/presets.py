@@ -1,0 +1,70 @@
+"""Pore presets beyond alpha-hemolysin.
+
+The paper's conclusion: "exactly the same approach used here can be adopted
+to attempt larger and even more challenging problems in computational
+biology, as there is no theoretical limit to how well our approach scales."
+These presets instantiate the same machinery for other channels:
+
+* :func:`mspa_pore` — MspA, the other classic protein nanopore: a funnel
+  with a single sharp constriction at the bottom (no barrel).
+* :func:`solid_state_nanopore` — a fabricated SiN pore: a short, nearly
+  cylindrical channel wide enough for dsDNA, with a weak landscape (no
+  specific binding sites).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .geometry import PoreGeometry
+from .hemolysin import HemolysinPore
+from .landscape import AxialLandscape
+
+__all__ = ["mspa_pore", "solid_state_nanopore"]
+
+
+def mspa_pore() -> HemolysinPore:
+    """MspA-like funnel: wide mouth tapering to a ~6 A-radius constriction
+    near the bottom, short overall (the goblet shape)."""
+    geometry = PoreGeometry(
+        vestibule_radius=24.0,
+        barrel_radius=7.0,
+        constriction_radius=6.0,
+        constriction_width=4.0,
+        z_top=25.0,
+        z_constriction=-15.0,
+        z_bottom=-25.0,
+        sevenfold_amplitude=0.5,  # MspA is octameric; reuse the modulation
+    )
+    landscape = AxialLandscape(
+        terms=[
+            (-2.0, 5.0, 8.0),    # funnel binding
+            (3.0, -15.0, 3.0),   # sharp constriction barrier
+        ]
+    )
+    return HemolysinPore(geometry=geometry, landscape=landscape)
+
+
+def solid_state_nanopore(radius: float = 15.0, thickness: float = 20.0) -> HemolysinPore:
+    """Fabricated SiN pore: short near-cylinder, wide enough for dsDNA.
+
+    No specific binding chemistry: the landscape is a single shallow
+    entropic barrier from confinement at the entrance.
+    """
+    if radius <= 3.0:
+        raise ConfigurationError("solid-state pores are > 3 A in radius")
+    if thickness <= 0:
+        raise ConfigurationError("thickness must be positive")
+    half = thickness / 2.0
+    geometry = PoreGeometry(
+        vestibule_radius=radius * 1.2,
+        barrel_radius=radius * 1.2,
+        constriction_radius=radius,
+        constriction_width=thickness / 3.0,
+        z_top=half,
+        z_constriction=0.0,
+        z_bottom=-half,
+        sevenfold_amplitude=0.0,  # amorphous: no symmetry modulation
+    )
+    landscape = AxialLandscape(terms=[(1.0, 0.0, thickness / 4.0)])
+    return HemolysinPore(geometry=geometry, landscape=landscape,
+                         sevenfold=False)

@@ -1,0 +1,35 @@
+"""Steered molecular dynamics: protocols, pulling forces, work ensembles.
+
+The two runners — :func:`~repro.smd.ensemble.run_pulling_ensemble` on the
+reduced 1-D model and :class:`~repro.smd.pulling.SMDPullingForce` +
+:class:`~repro.smd.pulling.SMDWorkRecorder` on the 3-D engine — produce the
+same work-curve record format, consumed by :mod:`repro.core`.
+"""
+
+from .protocol import (
+    PullingProtocol,
+    parameter_grid,
+    PAPER_KAPPAS,
+    PAPER_VELOCITIES,
+)
+from .work import WorkEnsemble
+from .ensemble import run_pulling_ensemble, PAPER_CPU_HOURS_PER_NS
+from .ensemble3d import run_pulling_ensemble_3d
+from .pulling import SMDPullingForce, SMDWorkRecorder
+from .subtrajectory import SubTrajectoryPlan, plan_subtrajectories, stitch_pmfs
+
+__all__ = [
+    "PullingProtocol",
+    "parameter_grid",
+    "PAPER_KAPPAS",
+    "PAPER_VELOCITIES",
+    "WorkEnsemble",
+    "run_pulling_ensemble",
+    "run_pulling_ensemble_3d",
+    "PAPER_CPU_HOURS_PER_NS",
+    "SMDPullingForce",
+    "SMDWorkRecorder",
+    "SubTrajectoryPlan",
+    "plan_subtrajectories",
+    "stitch_pmfs",
+]

@@ -1,0 +1,111 @@
+"""Pulling-protocol definitions.
+
+A :class:`PullingProtocol` is the experiment card of a single SMD run: the
+paper's two free parameters — spring constant ``kappa`` (pN/A) and pulling
+velocity ``v`` (A/ns) — plus the pull geometry (start, distance, direction).
+It is deliberately a frozen value object so an entire campaign (the 72-job
+batch phase) can be described as a list of protocols and hashed/compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from ..errors import ConfigurationError
+from ..units import pn_per_angstrom
+
+__all__ = ["PullingProtocol", "parameter_grid", "PAPER_KAPPAS", "PAPER_VELOCITIES"]
+
+#: The paper's Fig. 4 parameter values.
+PAPER_KAPPAS: tuple[float, ...] = (10.0, 100.0, 1000.0)       # pN/A
+PAPER_VELOCITIES: tuple[float, ...] = (12.5, 25.0, 50.0, 100.0)  # A/ns
+
+
+@dataclass(frozen=True)
+class PullingProtocol:
+    """Constant-velocity SMD pulling protocol.
+
+    Attributes
+    ----------
+    kappa_pn:
+        Spring constant in pN/A (paper units).
+    velocity:
+        Trap speed in A/ns, positive along ``direction``.
+    distance:
+        Total trap displacement in A (the paper's sub-trajectory length,
+        10 A by default, chosen "close to the centre of the pore").
+    start_z:
+        Trap starting station on the pore axis (A).
+    equilibration_ns:
+        Pre-pull equilibration time in the static trap.
+    """
+
+    kappa_pn: float
+    velocity: float
+    distance: float = 10.0
+    start_z: float = 0.0
+    equilibration_ns: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kappa_pn <= 0.0:
+            raise ConfigurationError(f"kappa must be positive, got {self.kappa_pn}")
+        if self.velocity <= 0.0:
+            raise ConfigurationError(f"velocity must be positive, got {self.velocity}")
+        if self.distance <= 0.0:
+            raise ConfigurationError(f"distance must be positive, got {self.distance}")
+        if self.equilibration_ns < 0.0:
+            raise ConfigurationError("equilibration time cannot be negative")
+
+    @property
+    def kappa_internal(self) -> float:
+        """Spring constant in kcal/mol/A^2."""
+        return pn_per_angstrom(self.kappa_pn)
+
+    @property
+    def duration_ns(self) -> float:
+        """Pull duration (excluding equilibration)."""
+        return self.distance / self.velocity
+
+    @property
+    def thermal_width(self) -> float:
+        """Equilibrium spread of the coordinate in the trap, sqrt(kT/kappa),
+        at 300 K — the resolution limit of the stiff-spring approximation."""
+        from ..units import kT
+
+        return (kT() / self.kappa_internal) ** 0.5
+
+    def trap_position(self, t_ns: float) -> float:
+        """Trap centre at pull time ``t_ns`` (0 = pull start)."""
+        return self.start_z + self.velocity * min(max(t_ns, 0.0), self.duration_ns)
+
+    def with_start(self, start_z: float) -> "PullingProtocol":
+        """Copy of this protocol re-anchored at a new start station."""
+        return replace(self, start_z=start_z)
+
+    def label(self) -> str:
+        """Human-readable cell label, e.g. ``kappa=100pN/A v=12.5A/ns``."""
+        return f"kappa={self.kappa_pn:g}pN/A v={self.velocity:g}A/ns"
+
+
+def parameter_grid(
+    kappas: Sequence[float] = PAPER_KAPPAS,
+    velocities: Sequence[float] = PAPER_VELOCITIES,
+    distance: float = 10.0,
+    start_z: float = 0.0,
+    equilibration_ns: float = 0.05,
+) -> list[PullingProtocol]:
+    """The full (kappa, v) protocol grid of the paper's Fig. 4 (12 cells)."""
+    if not kappas or not velocities:
+        raise ConfigurationError("parameter grid needs at least one kappa and one v")
+    return [
+        PullingProtocol(
+            kappa_pn=k,
+            velocity=v,
+            distance=distance,
+            start_z=start_z,
+            equilibration_ns=equilibration_ns,
+        )
+        for k in kappas
+        for v in velocities
+    ]

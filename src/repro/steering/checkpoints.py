@@ -1,0 +1,128 @@
+"""Checkpoint tree with cloning (RealityGrid-style).
+
+Paper Section III: "Checkpoint and cloning of simulations features provided
+by the RealityGrid infrastructure can also be used for verification and
+validation tests without perturbing the original simulation and for
+exploring a particular configuration in greater detail."
+
+A :class:`CheckpointTree` records checkpoints as nodes; cloning a node
+produces a new simulation branched from that state, and the branch point is
+recorded so lineage queries ("which runs explored this configuration?")
+work.  The tree is storage-agnostic: payloads are the dicts produced by
+:func:`repro.md.checkpoint.capture`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import CheckpointError
+
+__all__ = ["CheckpointNode", "CheckpointTree"]
+
+
+@dataclass
+class CheckpointNode:
+    """One stored checkpoint.
+
+    Attributes
+    ----------
+    node_id:
+        Unique id within the tree.
+    label:
+        Human-readable tag ("pre-constriction", "after force probe"...).
+    payload:
+        The checkpoint dict (opaque to the tree).
+    parent:
+        Id of the checkpoint this one descends from (None for roots).
+    branch:
+        Name of the simulation lineage this node belongs to.
+    """
+
+    node_id: int
+    label: str
+    payload: Dict[str, Any]
+    parent: Optional[int]
+    branch: str
+
+
+class CheckpointTree:
+    """A forest of checkpoint lineages supporting clone branches."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, CheckpointNode] = {}
+        self._ids = itertools.count(1)
+        self._heads: Dict[str, int] = {}  # branch name -> latest node id
+
+    # -- recording ---------------------------------------------------------------
+
+    def commit(self, branch: str, label: str, payload: Dict[str, Any]) -> CheckpointNode:
+        """Append a checkpoint to a branch (creating the branch if new)."""
+        if not branch:
+            raise CheckpointError("branch name cannot be empty")
+        node = CheckpointNode(
+            node_id=next(self._ids),
+            label=label,
+            payload=payload,
+            parent=self._heads.get(branch),
+            branch=branch,
+        )
+        self._nodes[node.node_id] = node
+        self._heads[branch] = node.node_id
+        return node
+
+    def fork(self, node_id: int, new_branch: str) -> CheckpointNode:
+        """Start a new branch from an existing checkpoint (the clone point).
+
+        The forked branch begins with a node sharing the source's payload;
+        subsequent commits extend the new lineage.
+        """
+        src = self.node(node_id)
+        if new_branch in self._heads:
+            raise CheckpointError(f"branch {new_branch!r} already exists")
+        node = CheckpointNode(
+            node_id=next(self._ids),
+            label=f"clone of #{src.node_id} ({src.label})",
+            payload=src.payload,
+            parent=src.node_id,
+            branch=new_branch,
+        )
+        self._nodes[node.node_id] = node
+        self._heads[new_branch] = node.node_id
+        return node
+
+    # -- queries -----------------------------------------------------------------
+
+    def node(self, node_id: int) -> CheckpointNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise CheckpointError(f"no checkpoint #{node_id}") from None
+
+    def head(self, branch: str) -> CheckpointNode:
+        try:
+            return self.node(self._heads[branch])
+        except KeyError:
+            raise CheckpointError(f"no branch {branch!r}") from None
+
+    def branches(self) -> List[str]:
+        return sorted(self._heads)
+
+    def lineage(self, node_id: int) -> List[CheckpointNode]:
+        """Path from a node back to its root (inclusive, newest first)."""
+        out = []
+        cur: Optional[int] = node_id
+        while cur is not None:
+            n = self.node(cur)
+            out.append(n)
+            cur = n.parent
+        return out
+
+    def children(self, node_id: int) -> List[CheckpointNode]:
+        self.node(node_id)  # existence check
+        return [n for n in self._nodes.values() if n.parent == node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,46 @@
+"""Network-fabric-aware steering connections.
+
+Connects steering components across the simulated network: resolve the
+route between two hosts through :class:`~repro.net.nat.NetworkFabric`
+(hidden IPs, gateways, link QoS) and bind the component to the service over
+a channel with the *route's* characteristics — so steering a simulation on
+PSC automatically pays the gateway hop, and steering one on HPCx fails with
+:class:`~repro.errors.UnreachableHostError`, exactly the deployment reality
+of Section V-C1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import UnreachableHostError
+from ..net.channel import ReliableChannel
+from ..net.nat import NetworkFabric, Route
+from ..rng import SeedLike
+from .services import ServiceConnection, SteeringService
+
+__all__ = ["connect_over_fabric"]
+
+
+def connect_over_fabric(
+    service: SteeringService,
+    component: str,
+    fabric: NetworkFabric,
+    src_host: str,
+    dst_host: str,
+    seed: SeedLike = None,
+    message_bytes: int = 2048,
+) -> tuple[ServiceConnection, Route]:
+    """Bind ``component`` to ``service`` over the ``src -> dst`` route.
+
+    The service is assumed co-located with ``dst_host`` (the simulation's
+    site); the returned connection's channel carries the resolved route's
+    QoS, including any gateway relay penalty.  Raises
+    :class:`UnreachableHostError` when no route exists — the steering
+    client simply cannot attach to a hidden-IP site without a gateway.
+    """
+    route = fabric.resolve(src_host, dst_host)
+    channel = ReliableChannel(route.qos, seed=seed)
+    conn = ServiceConnection(service, component, channel=channel,
+                             message_bytes=message_bytes)
+    return conn, route

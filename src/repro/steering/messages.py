@@ -1,0 +1,193 @@
+"""Steering message vocabulary.
+
+The RealityGrid architecture (paper Fig. 2a) has components "communicate by
+exchanging messages through intermediate grid services".  This module is the
+message layer: a small typed vocabulary covering the steering API's
+capabilities — parameter get/set, control (pause/resume/stop), checkpoint &
+clone, emitted data samples, frames for the visualizer, and steering forces
+from the visualizer/haptic side (the dotted direct arrows of Fig. 2a).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..errors import SteeringError
+
+__all__ = ["MessageType", "ControlAction", "SteeringMessage"]
+
+_seq_counter = itertools.count(1)
+
+
+class MessageType(Enum):
+    """Kinds of messages flowing through the steering services."""
+
+    PARAM_GET = "param_get"
+    PARAM_SET = "param_set"
+    PARAM_REPORT = "param_report"
+    CONTROL = "control"
+    STATUS = "status"
+    DATA_SAMPLE = "data_sample"
+    FRAME = "frame"
+    STEER_FORCE = "steer_force"
+    ACK = "ack"
+    ERROR = "error"
+
+
+class ControlAction(Enum):
+    """Control verbs of the steering API."""
+
+    PAUSE = "pause"
+    RESUME = "resume"
+    STOP = "stop"
+    CHECKPOINT = "checkpoint"
+    CLONE = "clone"
+
+
+@dataclass
+class SteeringMessage:
+    """One message between steering components.
+
+    Attributes
+    ----------
+    msg_type:
+        Vocabulary entry.
+    sender / recipient:
+        Component names registered with the service.
+    payload:
+        Type-specific content (parameter names/values, control action,
+        frame data...).  Values must be plain Python/NumPy data.
+    reply_to:
+        Sequence number of the request this message answers, if any.
+    timestamp:
+        Logical send time (s); stamped by the service connection.
+    seq:
+        Globally unique, monotone sequence number (auto-assigned).
+    """
+
+    msg_type: MessageType
+    sender: str
+    recipient: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    reply_to: Optional[int] = None
+    timestamp: float = 0.0
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        if not self.sender or not self.recipient:
+            raise SteeringError("messages need both sender and recipient")
+
+    # -- convenience constructors -----------------------------------------------
+
+    @classmethod
+    def control(cls, sender: str, recipient: str, action: ControlAction,
+                **payload: Any) -> "SteeringMessage":
+        return cls(MessageType.CONTROL, sender, recipient,
+                   payload={"action": action, **payload})
+
+    @classmethod
+    def param_set(cls, sender: str, recipient: str, name: str, value: Any) -> "SteeringMessage":
+        return cls(MessageType.PARAM_SET, sender, recipient,
+                   payload={"name": name, "value": value})
+
+    @classmethod
+    def param_get(cls, sender: str, recipient: str, name: Optional[str] = None) -> "SteeringMessage":
+        return cls(MessageType.PARAM_GET, sender, recipient,
+                   payload={"name": name})
+
+    @classmethod
+    def steer_force(cls, sender: str, recipient: str, indices, force_vector) -> "SteeringMessage":
+        return cls(MessageType.STEER_FORCE, sender, recipient,
+                   payload={"indices": indices, "force": force_vector})
+
+    def ack(self, sender: str, **payload: Any) -> "SteeringMessage":
+        """Build an ACK replying to this message."""
+        return SteeringMessage(MessageType.ACK, sender, self.sender,
+                               payload=payload, reply_to=self.seq)
+
+    def error(self, sender: str, reason: str) -> "SteeringMessage":
+        """Build an ERROR replying to this message."""
+        return SteeringMessage(MessageType.ERROR, sender, self.sender,
+                               payload={"reason": reason}, reply_to=self.seq)
+
+    # -- wire format -------------------------------------------------------------
+
+    def to_wire(self) -> str:
+        """Serialize to the JSON wire format the grid services would carry.
+
+        NumPy arrays become tagged lists; enums become their values.  Raises
+        :class:`SteeringError` for payloads that cannot be represented
+        (arbitrary objects do not belong in steering messages).
+        """
+        def encode(value: Any) -> Any:
+            if isinstance(value, np.ndarray):
+                return {"__ndarray__": value.tolist(),
+                        "dtype": str(value.dtype)}
+            if isinstance(value, (np.integer, np.floating)):
+                return value.item()
+            if isinstance(value, Enum):
+                return {"__enum__": type(value).__name__, "value": value.value}
+            if isinstance(value, dict):
+                return {k: encode(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [encode(v) for v in value]
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            raise SteeringError(
+                f"payload value of type {type(value).__name__} is not wire-safe"
+            )
+
+        return json.dumps({
+            "msg_type": self.msg_type.value,
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "payload": encode(self.payload),
+            "reply_to": self.reply_to,
+            "timestamp": self.timestamp,
+            "seq": self.seq,
+        })
+
+    @classmethod
+    def from_wire(cls, wire: str) -> "SteeringMessage":
+        """Reconstruct a message from :meth:`to_wire` output.
+
+        The original ``seq`` is preserved (wire transport must not renumber
+        messages), so replies built from a deserialized request still link.
+        """
+        def decode(value: Any) -> Any:
+            if isinstance(value, dict):
+                if "__ndarray__" in value:
+                    return np.asarray(value["__ndarray__"],
+                                      dtype=value.get("dtype", "float64"))
+                if "__enum__" in value:
+                    enum_cls = {"ControlAction": ControlAction,
+                                "MessageType": MessageType}.get(value["__enum__"])
+                    if enum_cls is None:
+                        raise SteeringError(
+                            f"unknown enum {value['__enum__']!r} on the wire")
+                    return enum_cls(value["value"])
+                return {k: decode(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [decode(v) for v in value]
+            return value
+
+        try:
+            raw = json.loads(wire)
+        except json.JSONDecodeError as exc:
+            raise SteeringError(f"malformed wire message: {exc}") from exc
+        msg = cls(
+            msg_type=MessageType(raw["msg_type"]),
+            sender=raw["sender"],
+            recipient=raw["recipient"],
+            payload=decode(raw["payload"]),
+            reply_to=raw.get("reply_to"),
+            timestamp=raw.get("timestamp", 0.0),
+        )
+        msg.seq = int(raw["seq"])
+        return msg

@@ -1,0 +1,29 @@
+"""SPICE campaign orchestration: the paper's three-phase method as code."""
+
+from .phases import (
+    StructuralInsight,
+    StaticVizPhase,
+    InteractiveInsight,
+    InteractivePhase,
+    BatchPhaseResult,
+    BatchPhase,
+)
+from .campaign import SpiceCampaign, SpiceCampaignResult, build_default_federation
+from .interactive_session import InteractiveSessionOutcome, InteractiveSessionRunner
+from .production import FullAxisResult, run_full_axis_production
+
+__all__ = [
+    "StructuralInsight",
+    "StaticVizPhase",
+    "InteractiveInsight",
+    "InteractivePhase",
+    "BatchPhaseResult",
+    "BatchPhase",
+    "SpiceCampaign",
+    "SpiceCampaignResult",
+    "build_default_federation",
+    "InteractiveSessionOutcome",
+    "InteractiveSessionRunner",
+    "FullAxisResult",
+    "run_full_axis_production",
+]

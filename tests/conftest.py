@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    HarmonicBondForce,
+    LangevinBAOAB,
+    ParticleSystem,
+    Simulation,
+    TopologyBuilder,
+    VelocityVerlet,
+)
+from repro.pore import (
+    ReducedTranslocationModel,
+    default_reduced_potential,
+)
+from repro.smd import PullingProtocol, run_pulling_ensemble
+from repro.units import timestep_fs
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def dimer():
+    """Two bonded particles: the smallest meaningful MD system."""
+    positions = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.5]])
+    masses = np.array([12.0, 12.0])
+    system = ParticleSystem(positions, masses)
+    topo = TopologyBuilder(2).add_bond(0, 1, k=100.0, r0=1.5).build()
+    return system, topo
+
+
+@pytest.fixture
+def dimer_simulation(dimer):
+    system, topo = dimer
+    sim = Simulation(system, [HarmonicBondForce(topo)], VelocityVerlet(timestep_fs(1.0)))
+    return sim
+
+
+@pytest.fixture
+def reduced_model():
+    return ReducedTranslocationModel(default_reduced_potential())
+
+
+@pytest.fixture
+def small_ensemble(reduced_model):
+    """A small but statistically usable work ensemble (cached per session)."""
+    proto = PullingProtocol(kappa_pn=100.0, velocity=50.0, distance=5.0,
+                            start_z=-2.5, equilibration_ns=0.01)
+    return run_pulling_ensemble(reduced_model, proto, n_samples=16, seed=7)

@@ -1,0 +1,90 @@
+"""Tests for trajectory-based calibration (MSD, friction extraction)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    calibrate_reduced_friction,
+    estimate_diffusion,
+    estimate_friction,
+)
+from repro.errors import AnalysisError, ConfigurationError
+from repro.md import BrownianDynamics, ParticleSystem, Simulation
+from repro.units import KB
+
+
+class NullForce:
+    def compute(self, positions, forces):
+        return 0.0
+
+
+class TestEstimateDiffusion:
+    def test_known_brownian_motion(self):
+        """Free Brownian particles: MSD estimator recovers kT/zeta."""
+        n = 400
+        zeta = 0.01
+        system = ParticleSystem(np.zeros((n, 3)), np.full(n, 100.0))
+        integ = BrownianDynamics(1e-4, friction_coefficient=zeta, seed=1)
+        sim = Simulation(system, [NullForce()], integ)
+        times, frames = [], []
+
+        def track(s):
+            if s.step_count % 10 == 0:
+                times.append(s.time)
+                frames.append(s.system.positions.copy())
+
+        sim.add_reporter(track)
+        sim.step(2000)
+        t = np.array(times)
+        X = np.stack(frames)  # (frames, n, 3)
+        # Average the per-particle 3-D estimate over many particles.
+        Ds = [estimate_diffusion(t, X[:, i, :], dim=3) for i in range(50)]
+        expected = KB * 300.0 / zeta
+        assert np.mean(Ds) == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic_ballistic_rejected_shape(self):
+        with pytest.raises(AnalysisError):
+            estimate_diffusion(np.arange(5.0), np.arange(6.0))
+
+    def test_too_short(self):
+        with pytest.raises(AnalysisError):
+            estimate_diffusion(np.arange(5.0), np.arange(5.0))
+
+    def test_fit_fraction_validation(self):
+        t = np.linspace(0, 1, 50)
+        with pytest.raises(ConfigurationError):
+            estimate_diffusion(t, t, fit_fraction=0.0)
+
+    def test_zero_motion_gives_zero(self):
+        t = np.linspace(0, 1, 50)
+        assert estimate_diffusion(t, np.zeros(50)) == pytest.approx(0.0)
+
+
+class TestEstimateFriction:
+    def test_einstein_relation(self):
+        D = 50.0
+        zeta = estimate_friction(D, temperature=300.0)
+        assert zeta == pytest.approx(KB * 300.0 / D)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_friction(0.0)
+
+
+class TestChainCalibration:
+    def test_chain_com_friction_decomposes_per_bead(self):
+        """Measured chain-COM friction ~ n_beads x per-bead drag (the
+        implicit-solvent value), within the statistics of one short run."""
+        from repro.pore import ImplicitSolvent
+
+        n_bases = 8
+        D, zeta = calibrate_reduced_friction(n_bases=n_bases, sim_ns=0.4,
+                                             seed=7)
+        per_bead = zeta / n_bases
+        expected = ImplicitSolvent().friction(in_pore=True)
+        # Order-of-magnitude agreement (single trajectory, finite length).
+        assert expected / 3 < per_bead < expected * 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_reduced_friction(sim_ns=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["pmf"])
+        assert args.kappa == 100.0
+        assert args.velocity == 12.5
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_structure(self, capsys):
+        assert main(["structure", "--bases", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-hemolysin" in out
+        assert "# pore wall" in out
+
+    def test_pmf(self, capsys):
+        assert main(["pmf", "--samples", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "SMD-JE PMF" in out
+        assert "max |error|" in out
+
+    def test_pmf_custom_parameters(self, capsys):
+        assert main(["pmf", "--kappa", "1000", "--velocity", "100",
+                     "--samples", "8"]) == 0
+        assert "kappa=1000" in capsys.readouterr().out
+
+    def test_ti(self, capsys):
+        assert main(["ti", "--replicas", "4", "--stations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "thermodynamic-integration" in out
+
+    def test_qos(self, capsys):
+        assert main(["qos", "--frames", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "lightpath" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--samples", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal:" in out
+
+    def test_campaign_small(self, capsys):
+        assert main(["campaign", "--replicas", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "batch:" in out and "optimal:" in out
+
+    def test_production_small(self, capsys):
+        assert main(["production", "--samples", "6",
+                     "--z-min", "-10", "--z-max", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "rms error" in out and "constriction barrier" in out

@@ -1,0 +1,78 @@
+"""Tests for JE convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    ConvergenceReport,
+    convergence_report,
+    dominance,
+    effective_sample_size,
+)
+from repro.errors import AnalysisError
+from repro.smd import PullingProtocol, run_pulling_ensemble
+from repro.units import KB
+
+T = 300.0
+
+
+class TestESS:
+    def test_uniform_works_full_ess(self):
+        w = np.full(20, 3.0)
+        assert effective_sample_size(w, T) == pytest.approx(20.0)
+        assert dominance(w, T) == pytest.approx(0.05)
+
+    def test_one_dominant_trajectory(self):
+        # One work value many kT below the rest captures all the weight.
+        w = np.array([0.0] + [20.0] * 19)
+        assert effective_sample_size(w, T) == pytest.approx(1.0, abs=0.01)
+        assert dominance(w, T) == pytest.approx(1.0, abs=0.01)
+
+    def test_ess_bounds(self):
+        rng = np.random.default_rng(0)
+        for scale in (0.1, 1.0, 5.0):
+            w = rng.normal(scale=scale, size=32)
+            ess = effective_sample_size(w, T)
+            assert 1.0 <= ess <= 32.0 + 1e-9
+
+    def test_ess_decreases_with_spread(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=64)
+        narrow = effective_sample_size(0.2 * base, T)
+        wide = effective_sample_size(3.0 * base, T)
+        assert wide < narrow
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            effective_sample_size(np.array([]), T)
+        with pytest.raises(AnalysisError):
+            effective_sample_size(np.array([1.0, np.nan]), T)
+
+
+class TestConvergenceReport:
+    def test_slow_pull_converges_fast_pull_does_not(self, reduced_model):
+        reports = {}
+        for v in (12.5, 100.0):
+            proto = PullingProtocol(kappa_pn=1000.0, velocity=v,
+                                    distance=10.0, start_z=-5.0,
+                                    equilibration_ns=0.05)
+            ens = run_pulling_ensemble(reduced_model, proto, n_samples=24,
+                                       seed=int(v))
+            reports[v] = convergence_report(ens)
+        assert reports[12.5].ess > reports[100.0].ess
+        assert reports[100.0].work_spread_kT > reports[12.5].work_spread_kT
+
+    def test_summary_format(self):
+        r = ConvergenceReport(n_samples=32, ess=20.0, dominance=0.1,
+                              work_spread_kT=1.5)
+        assert "OK" in r.summary()
+        bad = ConvergenceReport(n_samples=32, ess=2.0, dominance=0.9,
+                                work_spread_kT=8.0)
+        assert "POOR" in bad.summary()
+        assert not bad.converged
+
+    def test_needs_two_samples(self, reduced_model):
+        proto = PullingProtocol(kappa_pn=100.0, velocity=100.0, distance=2.0)
+        ens = run_pulling_ensemble(reduced_model, proto, n_samples=1, seed=2)
+        with pytest.raises(AnalysisError):
+            convergence_report(ens)

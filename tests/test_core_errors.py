@@ -1,0 +1,134 @@
+"""Tests for the statistical/systematic error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorBudget,
+    analyze_ensemble,
+    bootstrap_statistical_error,
+    cost_normalization_factor,
+    cost_normalized_error,
+    pairwise_consistency,
+    systematic_error,
+    estimate_pmf,
+)
+from repro.core.pmf import PMFEstimate
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestCostNormalization:
+    def test_paper_sqrt8_rule(self):
+        # One sample at 12.5 costs what eight at 100 cost: the raw error of
+        # the v=100 set shrinks by sqrt(8) at equal budget.
+        f = cost_normalization_factor(100.0, reference_velocity=12.5)
+        assert f == pytest.approx(1.0 / np.sqrt(8.0))
+
+    def test_reference_is_identity(self):
+        assert cost_normalization_factor(12.5, 12.5) == 1.0
+
+    def test_applies_elementwise(self):
+        err = np.array([1.0, 2.0])
+        out = cost_normalized_error(err, 50.0, 12.5)
+        np.testing.assert_allclose(out, err / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cost_normalization_factor(0.0, 12.5)
+
+
+class TestBootstrap:
+    def test_error_shrinks_with_samples(self, reduced_model):
+        from repro.smd import PullingProtocol, run_pulling_ensemble
+
+        proto = PullingProtocol(kappa_pn=100.0, velocity=100.0, distance=5.0,
+                                start_z=-2.5, equilibration_ns=0.01)
+        small = run_pulling_ensemble(reduced_model, proto, n_samples=8, seed=1)
+        large = run_pulling_ensemble(reduced_model, proto, n_samples=64, seed=1)
+        e_small = bootstrap_statistical_error(small, n_bootstrap=100, seed=2)
+        e_large = bootstrap_statistical_error(large, n_bootstrap=100, seed=2)
+        assert e_large[1:].mean() < e_small[1:].mean()
+
+    def test_station_zero_pinned(self, small_ensemble):
+        err = bootstrap_statistical_error(small_ensemble, n_bootstrap=50, seed=3)
+        assert err[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_with_seed(self, small_ensemble):
+        a = bootstrap_statistical_error(small_ensemble, n_bootstrap=50, seed=4)
+        b = bootstrap_statistical_error(small_ensemble, n_bootstrap=50, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, small_ensemble):
+        with pytest.raises(ConfigurationError):
+            bootstrap_statistical_error(small_ensemble, n_bootstrap=1)
+
+
+class TestSystematicError:
+    def est(self, values):
+        d = np.linspace(0, 5, len(values))
+        return PMFEstimate(d, np.asarray(values, dtype=float), 100.0, 12.5,
+                           "exponential", 8, 300.0)
+
+    def test_zero_against_itself(self):
+        e = self.est([0.0, -1.0, -2.0, -4.0])
+        assert systematic_error(e, e.values.copy()) == pytest.approx(0.0)
+
+    def test_constant_offset_ignored(self):
+        e = self.est([0.0, -1.0, -2.0, -4.0])
+        assert systematic_error(e, e.values + 10.0) == pytest.approx(0.0)
+
+    def test_rms_of_known_deviation(self):
+        e = self.est([0.0, 1.0, 0.0, 1.0])
+        ref = np.zeros(4)
+        # After re-zeroing both, deviation is [0,1,0,1]: RMS = sqrt(0.5).
+        assert systematic_error(e, ref) == pytest.approx(np.sqrt(0.5))
+
+    def test_grid_mismatch(self):
+        e = self.est([0.0, 1.0])
+        with pytest.raises(AnalysisError):
+            systematic_error(e, np.zeros(5))
+
+    def test_callable_reference(self):
+        e = self.est([0.0, -1.0, -2.0, -3.0])
+        err = systematic_error(e, lambda d: -d)
+        # Reference -d on d=linspace(0,5,4): values match -d exactly? No:
+        # e.values = [0,-1,-2,-3] on d=[0,1.67,3.33,5].
+        assert err > 0
+
+
+class TestPairwiseConsistency:
+    def make(self, values):
+        d = np.linspace(0, 5, len(values))
+        return PMFEstimate(d, np.asarray(values, float), 100.0, 12.5,
+                           "exponential", 8, 300.0)
+
+    def test_identical_curves(self):
+        a = self.make([0, -1, -2])
+        b = self.make([0, -1, -2])
+        assert pairwise_consistency([a, b]) == pytest.approx(0.0)
+
+    def test_spread_measured(self):
+        a = self.make([0, 0, 0])
+        b = self.make([0, 2, 0])
+        assert pairwise_consistency([a, b]) == pytest.approx(np.sqrt(4 / 3))
+
+    def test_needs_two(self):
+        with pytest.raises(AnalysisError):
+            pairwise_consistency([self.make([0, 1])])
+
+
+class TestAnalyzeEnsemble:
+    def test_full_budget(self, small_ensemble, reduced_model):
+        ref = reduced_model.reference_pmf(
+            small_ensemble.protocol.start_z + small_ensemble.displacements
+        )
+        budget = analyze_ensemble(small_ensemble, ref, reference_velocity=12.5,
+                                  n_bootstrap=50, seed=5)
+        assert budget.kappa_pn == 100.0
+        assert budget.sigma_stat > 0
+        assert budget.sigma_sys > 0
+        assert budget.sigma_total == pytest.approx(
+            np.hypot(budget.sigma_stat, budget.sigma_sys)
+        )
+        # v=50 ensemble: normalized error smaller than raw by sqrt(12.5/50)=2.
+        assert budget.sigma_stat == pytest.approx(budget.sigma_stat_raw / 2.0)

@@ -1,0 +1,85 @@
+"""Tests for checkpoint-restart of killed grid jobs."""
+
+import pytest
+
+from repro.grid import (
+    BatchQueue,
+    CampaignManager,
+    ComputeResource,
+    EventLoop,
+    FailureInjector,
+    FederatedGrid,
+    Grid,
+    Job,
+    JobState,
+)
+
+
+class TestCheckpointRestart:
+    def test_fraction_recorded_on_kill(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", 256), loop)
+        job = Job("ck", procs=128, duration_hours=10.0, checkpointable=True)
+        q.submit(job)
+        q.schedule_outage(start=4.0, duration=2.0)
+        loop.run(until=5.0)
+        assert job.state is JobState.KILLED
+        assert job.completed_fraction == pytest.approx(0.4)
+
+    def test_non_checkpointable_restarts_from_zero(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", 256), loop)
+        job = Job("plain", procs=128, duration_hours=10.0, checkpointable=False)
+        q.submit(job)
+        q.schedule_outage(start=4.0, duration=2.0)
+        loop.run(until=5.0)
+        job.reset_for_requeue()
+        assert job.completed_fraction == 0.0
+        assert job.remaining_duration_hours == 10.0
+
+    def test_resume_runs_only_remaining_work(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", 256), loop)
+        job = Job("ck", procs=128, duration_hours=10.0, checkpointable=True)
+        q.submit(job)
+        q.schedule_outage(start=4.0, duration=2.0)
+        loop.run(until=5.0)
+        job.reset_for_requeue()
+        q2 = BatchQueue(ComputeResource("Y", "G", 256), loop)
+        q2.submit(job)
+        loop.run()
+        assert job.state is JobState.COMPLETED
+        # Started at t=5 (requeue), ran only the remaining 6 hours.
+        assert job.end_time - job.start_time == pytest.approx(6.0)
+
+    def test_repeated_kills_compound_fraction(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", 256), loop)
+        job = Job("ck", procs=128, duration_hours=10.0, checkpointable=True)
+        q.submit(job)
+        q.schedule_outage(start=5.0, duration=1.0)   # 50% done
+        loop.run(until=6.0)
+        job.reset_for_requeue()
+        q.submit(job)  # resumes at t=6 with 5h remaining
+        q.schedule_outage(start=8.5, duration=1.0)   # 2.5h of 5h -> 50% of rest
+        loop.run(until=9.0)
+        assert job.completed_fraction == pytest.approx(0.75)
+
+    def test_campaign_with_checkpointing_finishes_sooner(self):
+        def run(checkpointable: bool) -> float:
+            loop = EventLoop()
+            fed = FederatedGrid([Grid("G", [
+                ComputeResource("A", "G", 256),
+                ComputeResource("B", "G", 256),
+            ], loop)])
+            mgr = CampaignManager(fed)
+            jobs = [Job(f"j{i}", 256, 12.0, checkpointable=checkpointable)
+                    for i in range(4)]
+            # Kill A deep into the first job's run.
+            FailureInjector(seed=0).hardware_failure(
+                fed.all_queues()["A"], at_hours=10.0, repair_hours=200.0)
+            report = mgr.run(jobs)
+            assert report.all_completed
+            return report.makespan_hours
+
+        assert run(True) < run(False)

@@ -1,0 +1,95 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import ConfigurationError, GridError
+from repro.grid import EventLoop
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_tie_break_by_insertion(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2]
+
+    def test_run_until_stops(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_when_empty(self):
+        loop = EventLoop()
+        loop.run(until=10.0)
+        assert loop.now == 10.0
+
+    def test_callbacks_can_schedule(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule(1.0, lambda: seen.append("second"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert seen == ["first", "second"]
+        assert loop.now == 2.0
+
+    def test_no_past_scheduling(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule_at(0.5, lambda: None))
+        with pytest.raises(ConfigurationError):
+            loop.run()
+        with pytest.raises(ConfigurationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.1, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(GridError):
+            loop.run(max_events=100)
+
+    def test_not_reentrant(self):
+        loop = EventLoop()
+        failures = []
+
+        def reenter():
+            try:
+                loop.run()
+            except GridError as exc:
+                failures.append(exc)
+
+        loop.schedule(1.0, reenter)
+        loop.run()
+        assert len(failures) == 1
+
+    def test_event_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        loop.run()
+        assert loop.events_processed == 5

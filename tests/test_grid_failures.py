@@ -1,0 +1,87 @@
+"""Tests for failure injection (Section V-C4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import (
+    BatchQueue,
+    CampaignManager,
+    ComputeResource,
+    EventLoop,
+    FailureInjector,
+    FederatedGrid,
+    Grid,
+    Job,
+    JobState,
+    SECURITY_BREACH_WEEKS,
+)
+
+
+class TestFailureInjector:
+    def test_security_breach_weeks_long(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("UK", "NGS", 256), loop)
+        inj = FailureInjector(seed=0)
+        inj.security_breach(q, at_hours=10.0)
+        j = Job("late", 128, 1.0)
+        loop.schedule(12.0, lambda: q.submit(j))
+        loop.run()
+        # Queue reopens only after SECURITY_BREACH_WEEKS.
+        assert j.start_time >= 10.0 + SECURITY_BREACH_WEEKS * 7 * 24
+
+    def test_breach_recorded(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("UK", "NGS", 256), loop)
+        inj = FailureInjector(seed=1)
+        inj.security_breach(q, at_hours=5.0)
+        name, at, dur, reason = inj.injected[0]
+        assert name == "UK"
+        assert reason == "security breach"
+        assert dur == pytest.approx(SECURITY_BREACH_WEEKS * 7 * 24)
+
+    def test_random_failures_poisson(self):
+        loop = EventLoop()
+        queues = [
+            BatchQueue(ComputeResource(f"R{i}", "G", 128), loop) for i in range(4)
+        ]
+        inj = FailureInjector(seed=2)
+        n = inj.random_failures(queues, horizon_hours=5000.0, mtbf_hours=500.0)
+        # Expect ~ 4 * 5000/500 = 40 failures.
+        assert 15 < n < 80
+
+    def test_validation(self):
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", 128), loop)
+        inj = FailureInjector()
+        with pytest.raises(ConfigurationError):
+            inj.security_breach(q, at_hours=0.0, weeks=0.0)
+        with pytest.raises(ConfigurationError):
+            inj.random_failures([q], horizon_hours=-1.0)
+
+
+class TestRedundancyScenario:
+    def run_campaign(self, n_uk_sites):
+        """Steering-constrained UK jobs with a breach on the first UK site."""
+        loop = EventLoop()
+        uk_sites = [
+            ComputeResource(f"UK-{i}", "NGS", 256, background_load=0.0)
+            for i in range(n_uk_sites)
+        ]
+        fed = FederatedGrid([Grid("NGS", uk_sites, loop)])
+        mgr = CampaignManager(fed)
+        inj = FailureInjector(seed=3)
+        inj.security_breach(fed.all_queues()["UK-0"], at_hours=1.0, weeks=2.0)
+        jobs = [Job(f"j{i}", 128, 4.0) for i in range(12)]
+        report = mgr.run(jobs)
+        return report
+
+    def test_single_point_of_failure_stalls_weeks(self):
+        report = self.run_campaign(n_uk_sites=1)
+        assert report.all_completed
+        # Time to solution dominated by the breach: > 2 weeks.
+        assert report.makespan_hours > 2 * 7 * 24
+
+    def test_redundant_site_absorbs_breach(self):
+        report = self.run_campaign(n_uk_sites=2)
+        assert report.all_completed
+        assert report.makespan_hours < 7 * 24  # far less than the breach

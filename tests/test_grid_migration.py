@@ -1,0 +1,86 @@
+"""Tests for checkpoint migration between sites."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import (
+    CheckpointMigrator,
+    Job,
+    paper_checkpoint_bytes,
+)
+from repro.net import LIGHTPATH, PRODUCTION_INTERNET, QoSSpec
+
+
+class TestSizeModel:
+    def test_paper_scale(self):
+        size = paper_checkpoint_bytes()
+        # 300k atoms x 3 x 8 bytes x 2 arrays ~ 14.4 MB + metadata.
+        assert 14_000_000 < size < 17_000_000
+
+    def test_scales_with_atoms(self):
+        assert paper_checkpoint_bytes(600_000) == pytest.approx(
+            2 * paper_checkpoint_bytes(300_000), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paper_checkpoint_bytes(0)
+
+
+class TestTransferTime:
+    def test_lightpath_fast(self):
+        m = CheckpointMigrator(LIGHTPATH, seed=0)
+        # ~16 MB at 1 Gb/s: a fraction of a second.
+        hours = m.transfer_hours(paper_checkpoint_bytes())
+        assert hours < 1.0 / 3600.0 * 2
+
+    def test_production_slower(self):
+        fast = CheckpointMigrator(LIGHTPATH, seed=0)
+        slow = CheckpointMigrator(PRODUCTION_INTERNET, seed=0)
+        size = paper_checkpoint_bytes()
+        assert slow.transfer_hours(size) > fast.transfer_hours(size)
+
+
+class TestPlanning:
+    def job(self):
+        return Job("smdje-07", procs=128, duration_hours=8.0)
+
+    def test_migration_beats_recompute_when_work_done(self):
+        m = CheckpointMigrator(LIGHTPATH, seed=1)
+        plan = m.plan(self.job(), completed_fraction=0.75,
+                      destination_wait_hours=1.0)
+        # Recompute = 6 h of redone work + the same wait; migrate = transfer
+        # (seconds) + wait.
+        assert plan.worthwhile
+        assert plan.migration_hours < plan.recompute_hours
+
+    def test_fresh_job_not_worth_migrating(self):
+        m = CheckpointMigrator(PRODUCTION_INTERNET, seed=2)
+        plan = m.plan(self.job(), completed_fraction=0.0,
+                      destination_wait_hours=0.5)
+        # Nothing to save: recompute == wait, migration adds transfer on top.
+        assert not plan.worthwhile
+
+    def test_validation(self):
+        m = CheckpointMigrator(LIGHTPATH)
+        with pytest.raises(ConfigurationError):
+            m.plan(self.job(), completed_fraction=1.5, destination_wait_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            m.transfer_hours(0)
+
+
+class TestExecute:
+    def test_chunked_transfer_completes(self):
+        m = CheckpointMigrator(LIGHTPATH, seed=3)
+        arrival = m.execute(paper_checkpoint_bytes(), now_hours=2.0)
+        assert arrival > 2.0
+        # About the serialization estimate (plus per-chunk latency).
+        est = 2.0 + m.transfer_hours(paper_checkpoint_bytes())
+        assert arrival == pytest.approx(est, rel=0.5)
+
+    def test_lossy_link_still_delivers(self):
+        lossy = QoSSpec(latency_ms=40.0, jitter_ms=10.0, loss_rate=0.25,
+                        bandwidth_mbps=200.0)
+        m = CheckpointMigrator(lossy, seed=4)
+        arrival = m.execute(512 * 1024 * 1024, now_hours=0.0)
+        assert arrival > 0.0
+        assert m.channel.stats.loss_recoveries > 0

@@ -1,0 +1,113 @@
+"""Tests for the dihedral force term."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.md.dihedrals import DihedralForce, measure_dihedrals
+
+
+def quad_positions(phi):
+    """Four atoms with the dihedral about the z axis set to phi."""
+    return np.array([
+        [1.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [np.cos(phi), np.sin(phi), 1.0],
+    ])
+
+
+class TestMeasureDihedrals:
+    @pytest.mark.parametrize("phi", [0.0, 0.5, np.pi / 2, 2.5, -1.2, np.pi - 0.01])
+    def test_constructed_angle(self, phi):
+        pos = quad_positions(phi)
+        out = measure_dihedrals(pos, np.array([[0, 1, 2, 3]]))
+        assert out[0] == pytest.approx(phi, abs=1e-9)
+
+    def test_sign_convention(self):
+        assert measure_dihedrals(quad_positions(1.0), np.array([[0, 1, 2, 3]]))[0] > 0
+        assert measure_dihedrals(quad_positions(-1.0), np.array([[0, 1, 2, 3]]))[0] < 0
+
+
+class TestDihedralForce:
+    def make(self, k=2.0, n=1, phi0=0.0):
+        return DihedralForce(np.array([[0, 1, 2, 3]]), np.array([k]),
+                             np.array([n]), np.array([phi0]))
+
+    def test_energy_at_known_angles(self):
+        f = self.make(k=2.0, n=1, phi0=0.0)
+        # U = k (1 + cos(phi)): max at phi=0, zero at phi=pi.
+        e0 = f.compute(quad_positions(0.0), np.zeros((4, 3)))
+        epi = f.compute(quad_positions(np.pi - 1e-9), np.zeros((4, 3)))
+        assert e0 == pytest.approx(4.0)
+        assert epi == pytest.approx(0.0, abs=1e-6)
+
+    def test_periodicity(self):
+        f = self.make(k=1.0, n=3, phi0=0.0)
+        e1 = f.compute(quad_positions(0.3), np.zeros((4, 3)))
+        e2 = f.compute(quad_positions(0.3 + 2 * np.pi / 3), np.zeros((4, 3)))
+        assert e1 == pytest.approx(e2, abs=1e-9)
+
+    @pytest.mark.parametrize("phi", [0.4, 1.3, 2.2, -0.8, -2.0])
+    def test_gradient_consistency(self, phi):
+        f = self.make(k=1.5, n=2, phi0=0.7)
+        pos = quad_positions(phi)
+        # Perturb to a generic configuration (no special symmetry).
+        rng = np.random.default_rng(int(abs(phi) * 100))
+        pos = pos + rng.normal(scale=0.05, size=pos.shape)
+        analytic = np.zeros_like(pos)
+        f.compute(pos, analytic)
+        h = 1e-6
+        num = np.zeros_like(pos)
+        for i in range(4):
+            for d in range(3):
+                pos[i, d] += h
+                ep = f.compute(pos, np.zeros_like(pos))
+                pos[i, d] -= 2 * h
+                em = f.compute(pos, np.zeros_like(pos))
+                pos[i, d] += h
+                num[i, d] = -(ep - em) / (2 * h)
+        np.testing.assert_allclose(analytic, num, atol=1e-4)
+
+    def test_net_force_and_torque_free(self):
+        f = self.make(k=1.0, n=1, phi0=0.3)
+        rng = np.random.default_rng(4)
+        pos = quad_positions(0.9) + rng.normal(scale=0.1, size=(4, 3))
+        forces = np.zeros_like(pos)
+        f.compute(pos, forces)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-10)
+        torque = np.cross(pos, forces).sum(axis=0)
+        np.testing.assert_allclose(torque, 0.0, atol=1e-9)
+
+    def test_energy_conservation_nve(self):
+        from repro.md import ParticleSystem, Simulation, VelocityVerlet, HarmonicBondForce, TopologyBuilder
+        from repro.units import timestep_fs
+
+        pos = quad_positions(1.0)
+        system = ParticleSystem(pos, np.full(4, 12.0))
+        system.initialize_velocities(200.0, seed=1)
+        topo = TopologyBuilder(4).add_chain(range(4), 100.0, 1.0).build()
+        sim = Simulation(
+            system,
+            [HarmonicBondForce(topo), self.make(k=1.0)],
+            VelocityVerlet(timestep_fs(0.25)),
+        )
+        e0 = sim.total_energy()
+        sim.step(2000)
+        assert sim.total_energy() == pytest.approx(e0, abs=0.05 * max(abs(e0), 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DihedralForce(np.zeros((1, 3), dtype=int), np.ones(1), np.ones(1),
+                          np.zeros(1))
+        with pytest.raises(ConfigurationError):
+            DihedralForce(np.zeros((1, 4), dtype=int), np.array([-1.0]),
+                          np.ones(1), np.zeros(1))
+        with pytest.raises(ConfigurationError):
+            DihedralForce(np.zeros((1, 4), dtype=int), np.ones(1),
+                          np.zeros(1), np.zeros(1))
+
+    def test_empty(self):
+        f = DihedralForce(np.zeros((0, 4), dtype=int), np.zeros(0),
+                          np.zeros(0), np.zeros(0))
+        assert f.compute(np.zeros((4, 3)), np.zeros((4, 3))) == 0.0

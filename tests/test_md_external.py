@@ -1,0 +1,144 @@
+"""Tests for external (one-body) force terms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.md import (
+    ConstantForce,
+    ExternalFieldForce,
+    FlatBottomRestraintForce,
+    HarmonicRestraintForce,
+    SteeringForce,
+)
+
+
+class FakeField:
+    """Constant downhill field in z for adapter tests."""
+
+    def energy_and_forces(self, positions):
+        forces = np.zeros_like(positions)
+        forces[:, 2] = -1.0
+        return float(positions[:, 2].sum()), forces
+
+
+class TestExternalFieldForce:
+    def test_all_particles(self):
+        f = ExternalFieldForce(FakeField())
+        pos = np.arange(9.0).reshape(3, 3)
+        forces = np.zeros_like(pos)
+        e = f.compute(pos, forces)
+        assert e == pytest.approx(pos[:, 2].sum())
+        np.testing.assert_allclose(forces[:, 2], -1.0)
+
+    def test_subset(self):
+        f = ExternalFieldForce(FakeField(), indices=np.array([1]))
+        pos = np.arange(9.0).reshape(3, 3)
+        forces = np.zeros_like(pos)
+        e = f.compute(pos, forces)
+        assert e == pytest.approx(pos[1, 2])
+        assert forces[0, 2] == 0.0 and forces[1, 2] == -1.0
+
+
+class TestHarmonicRestraint:
+    def test_zero_at_anchor(self):
+        anchors = np.array([[1.0, 2.0, 3.0]])
+        f = HarmonicRestraintForce(np.array([0]), anchors, k=10.0)
+        forces = np.zeros((1, 3))
+        assert f.compute(anchors.copy(), forces) == 0.0
+
+    def test_restoring_force(self):
+        f = HarmonicRestraintForce(np.array([0]), np.zeros((1, 3)), k=10.0)
+        pos = np.array([[0.0, 0.0, 2.0]])
+        forces = np.zeros((1, 3))
+        e = f.compute(pos, forces)
+        assert e == pytest.approx(0.5 * 10 * 4)
+        assert forces[0, 2] == pytest.approx(-20.0)
+
+    def test_move_anchors(self):
+        f = HarmonicRestraintForce(np.array([0]), np.zeros((1, 3)), k=1.0)
+        f.move_anchors(np.array([[0.0, 0.0, 5.0]]))
+        pos = np.array([[0.0, 0.0, 5.0]])
+        assert f.compute(pos, np.zeros((1, 3))) == 0.0
+
+    def test_anchor_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicRestraintForce(np.array([0, 1]), np.zeros((1, 3)), k=1.0)
+        f = HarmonicRestraintForce(np.array([0]), np.zeros((1, 3)), k=1.0)
+        with pytest.raises(ConfigurationError):
+            f.move_anchors(np.zeros((2, 3)))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicRestraintForce(np.array([0]), np.zeros((1, 3)), k=-1.0)
+
+
+class TestFlatBottomRestraint:
+    def test_zero_inside_radius(self):
+        f = FlatBottomRestraintForce(np.array([0]), np.zeros(3), radius=5.0, k=2.0)
+        pos = np.array([[3.0, 0.0, 0.0]])
+        forces = np.zeros((1, 3))
+        assert f.compute(pos, forces) == 0.0
+        np.testing.assert_array_equal(forces, 0.0)
+
+    def test_harmonic_outside(self):
+        f = FlatBottomRestraintForce(np.array([0]), np.zeros(3), radius=5.0, k=2.0)
+        pos = np.array([[7.0, 0.0, 0.0]])
+        forces = np.zeros((1, 3))
+        e = f.compute(pos, forces)
+        assert e == pytest.approx(0.5 * 2.0 * 4.0)
+        assert forces[0, 0] == pytest.approx(-4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlatBottomRestraintForce(np.array([0]), np.zeros(3), radius=0.0, k=1.0)
+
+
+class TestConstantForce:
+    def test_applies_to_selection(self):
+        f = ConstantForce(np.array([0, 2]), np.array([0.0, 0.0, 3.0]))
+        pos = np.zeros((3, 3))
+        forces = np.zeros((3, 3))
+        f.compute(pos, forces)
+        assert forces[0, 2] == 3.0 and forces[1, 2] == 0.0 and forces[2, 2] == 3.0
+
+    def test_energy_is_minus_f_dot_r(self):
+        f = ConstantForce(np.array([0]), np.array([0.0, 0.0, 2.0]))
+        pos = np.array([[0.0, 0.0, 5.0]])
+        assert f.compute(pos, np.zeros((1, 3))) == pytest.approx(-10.0)
+
+    def test_set_force(self):
+        f = ConstantForce(np.array([0]), np.zeros(3))
+        f.set_force(np.array([1.0, 0.0, 0.0]))
+        forces = np.zeros((1, 3))
+        f.compute(np.zeros((1, 3)), forces)
+        assert forces[0, 0] == 1.0
+
+
+class TestSteeringForce:
+    def test_inactive_by_default(self):
+        f = SteeringForce(3)
+        assert not f.active
+        forces = np.zeros((3, 3))
+        assert f.compute(np.zeros((3, 3)), forces) == 0.0
+        np.testing.assert_array_equal(forces, 0.0)
+
+    def test_apply_and_clear(self):
+        f = SteeringForce(3)
+        f.apply(np.array([1]), np.array([0.0, 0.0, 5.0]))
+        assert f.active
+        forces = np.zeros((3, 3))
+        f.compute(np.zeros((3, 3)), forces)
+        assert forces[1, 2] == 5.0
+        f.clear()
+        assert not f.active
+
+    def test_out_of_range_indices(self):
+        f = SteeringForce(3)
+        with pytest.raises(ConfigurationError):
+            f.apply(np.array([5]), np.zeros(3))
+
+    def test_empty_selection_is_inactive(self):
+        f = SteeringForce(3)
+        f.apply(np.zeros(0, dtype=np.intp), np.zeros(3))
+        assert not f.active

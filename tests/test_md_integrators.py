@@ -1,0 +1,198 @@
+"""Tests for integrators: energy conservation, thermostats, diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.md import (
+    BrownianDynamics,
+    HarmonicBondForce,
+    HarmonicRestraintForce,
+    LangevinBAOAB,
+    ParticleSystem,
+    Simulation,
+    TopologyBuilder,
+    VelocityVerlet,
+)
+from repro.units import KB, timestep_fs
+
+
+def bonded_chain(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = np.zeros((n, 3))
+    pos[:, 2] = np.arange(n) * 1.5
+    pos += rng.normal(scale=0.05, size=pos.shape)
+    system = ParticleSystem(pos, np.full(n, 12.0))
+    topo = TopologyBuilder(n).add_chain(range(n), k=100.0, r0=1.5).build()
+    return system, [HarmonicBondForce(topo)]
+
+
+class TestConstruction:
+    def test_bad_dt(self):
+        for cls_args in [(VelocityVerlet, (-1e-6,)),
+                         (LangevinBAOAB, (0.0, 10.0))]:
+            cls, args = cls_args
+            with pytest.raises(ConfigurationError):
+                cls(*args)
+
+    def test_langevin_bad_friction(self):
+        with pytest.raises(ConfigurationError):
+            LangevinBAOAB(1e-6, friction=-1.0)
+
+    def test_langevin_bad_temperature(self):
+        with pytest.raises(ConfigurationError):
+            LangevinBAOAB(1e-6, friction=1.0, temperature=0.0)
+
+    def test_brownian_bad_friction(self):
+        with pytest.raises(ConfigurationError):
+            BrownianDynamics(1e-5, friction_coefficient=0.0)
+
+
+class TestVelocityVerlet:
+    def test_energy_conservation_bonded(self):
+        system, forces = bonded_chain()
+        system.initialize_velocities(300.0, seed=1)
+        sim = Simulation(system, forces, VelocityVerlet(timestep_fs(0.5)))
+        e0 = sim.total_energy()
+        sim.step(2000)
+        e1 = sim.total_energy()
+        assert abs(e1 - e0) < 0.02 * max(abs(e0), 1.0)
+
+    def test_time_reversibility(self):
+        system, forces = bonded_chain(4, seed=2)
+        system.initialize_velocities(300.0, seed=3)
+        sim = Simulation(system, forces, VelocityVerlet(timestep_fs(0.5)))
+        x0 = system.positions.copy()
+        sim.step(100)
+        system.velocities[:] *= -1.0
+        sim.invalidate_caches()
+        sim.step(100)
+        np.testing.assert_allclose(system.positions, x0, atol=1e-6)
+
+    def test_harmonic_oscillator_period(self):
+        # Single particle in a restraint: period T = 2 pi sqrt(m'/k).
+        from repro.units import MASS_TO_KCAL
+
+        m, k = 10.0, 50.0
+        system = ParticleSystem(np.array([[0.0, 0.0, 1.0]]), np.array([m]))
+        f = HarmonicRestraintForce(np.array([0]), np.zeros((1, 3)), k=k)
+        period = 2 * np.pi * np.sqrt(m * MASS_TO_KCAL / k)
+        dt = period / 2000
+        sim = Simulation(system, [f], VelocityVerlet(dt))
+        sim.step(2000)  # one full period
+        assert system.positions[0, 2] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestLangevinBAOAB:
+    def test_maintains_target_temperature(self):
+        # Starting from the stationary distribution, the thermostat keeps
+        # the kinetic temperature at the bath value.
+        n = 500
+        k = 5.0
+        rng = np.random.default_rng(4)
+        anchors = rng.normal(size=(n, 3))
+        # Positions AND velocities from the stationary distribution.
+        spread = np.sqrt(KB * 300.0 / k)
+        system = ParticleSystem(anchors + rng.normal(scale=spread, size=(n, 3)),
+                                np.full(n, 20.0))
+        system.initialize_velocities(300.0, seed=44)
+        f = HarmonicRestraintForce(np.arange(n), anchors, k=k)
+        integ = LangevinBAOAB(timestep_fs(2.0), friction=100.0, temperature=300.0, seed=5)
+        sim = Simulation(system, [f], integ)
+        temps = []
+        for _ in range(10):
+            sim.step(300)
+            temps.append(system.temperature())
+        assert np.mean(temps) == pytest.approx(300.0, rel=0.08)
+
+    def test_heats_cold_start(self):
+        # A zero-velocity start must warm toward the bath over ~1/gamma.
+        n = 300
+        rng = np.random.default_rng(14)
+        system = ParticleSystem(rng.normal(size=(n, 3)), np.full(n, 20.0))
+        f = HarmonicRestraintForce(np.arange(n), system.positions.copy(), k=5.0)
+        integ = LangevinBAOAB(timestep_fs(2.0), friction=2000.0, temperature=300.0, seed=15)
+        sim = Simulation(system, [f], integ)
+        sim.step(3000)  # 6 ps = 12 / gamma
+        assert system.temperature() == pytest.approx(300.0, rel=0.15)
+
+    def test_equipartition_in_harmonic_well(self):
+        # <0.5 k x^2> = 0.5 kT per coordinate, starting from stationarity.
+        n = 400
+        k = 2.0
+        kT = KB * 300.0
+        rng = np.random.default_rng(66)
+        x0 = rng.normal(scale=np.sqrt(kT / k), size=(n, 3))
+        system = ParticleSystem(x0, np.full(n, 10.0))
+        system.initialize_velocities(300.0, seed=67)
+        f = HarmonicRestraintForce(np.arange(n), np.zeros((n, 3)), k=k)
+        integ = LangevinBAOAB(timestep_fs(5.0), friction=200.0, temperature=300.0, seed=6)
+        sim = Simulation(system, [f], integ)
+        samples = []
+        for _ in range(20):
+            sim.step(300)
+            samples.append(np.mean(system.positions**2))
+        assert np.mean(samples) == pytest.approx(kT / k, rel=0.1)
+
+    def test_zero_friction_reduces_to_verlet(self):
+        system, forces = bonded_chain(4, seed=7)
+        system.initialize_velocities(300.0, seed=8)
+        sys2 = system.copy()
+        dt = timestep_fs(0.5)
+        sim1 = Simulation(system, forces, LangevinBAOAB(dt, friction=0.0, seed=9))
+
+        topo = TopologyBuilder(4).add_chain(range(4), k=100.0, r0=1.5).build()
+        sim2 = Simulation(sys2, [HarmonicBondForce(topo)], VelocityVerlet(dt))
+        sim1.step(50)
+        sim2.step(50)
+        np.testing.assert_allclose(system.positions, sys2.positions, atol=1e-9)
+
+    def test_deterministic_with_seed(self):
+        s1, f1 = bonded_chain(4, seed=10)
+        s2, f2 = bonded_chain(4, seed=10)
+        dt = timestep_fs(1.0)
+        Simulation(s1, f1, LangevinBAOAB(dt, 10.0, seed=11)).step(100)
+        Simulation(s2, f2, LangevinBAOAB(dt, 10.0, seed=11)).step(100)
+        np.testing.assert_array_equal(s1.positions, s2.positions)
+
+
+class TestBrownianDynamics:
+    def test_free_diffusion_msd(self):
+        # MSD = 6 D t for free diffusion.
+        n = 2000
+        zeta = 0.01
+        T = 300.0
+        system = ParticleSystem(np.zeros((n, 3)), np.full(n, 100.0))
+
+        class NullForce:
+            def compute(self, positions, forces):
+                return 0.0
+
+        dt = 1e-4
+        integ = BrownianDynamics(dt, friction_coefficient=zeta, temperature=T, seed=12)
+        sim = Simulation(system, [NullForce()], integ)
+        t_total = 0.05
+        sim.step(int(t_total / dt))
+        msd = np.mean(np.sum(system.positions**2, axis=1))
+        D = KB * T / zeta
+        assert msd == pytest.approx(6 * D * t_total, rel=0.1)
+
+    def test_boltzmann_distribution_in_well(self):
+        n = 3000
+        k = 1.0
+        system = ParticleSystem(np.zeros((n, 3)), np.full(n, 100.0))
+        f = HarmonicRestraintForce(np.arange(n), np.zeros((n, 3)), k=k)
+        integ = BrownianDynamics(2e-4, friction_coefficient=0.01,
+                                 temperature=300.0, seed=13)
+        sim = Simulation(system, [f], integ)
+        sim.step(3000)
+        var = np.var(system.positions)
+        kT = KB * 300.0
+        assert var == pytest.approx(kT / k, rel=0.08)
+
+    def test_per_particle_friction(self):
+        zeta = np.array([0.01, 0.1])
+        integ = BrownianDynamics(1e-4, friction_coefficient=zeta, seed=14)
+        mob = integ.mobility()
+        assert mob.shape == (2, 1)
+        assert mob[1, 0] == pytest.approx(10.0)

@@ -1,0 +1,72 @@
+"""Tests for the reliable channel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net import (
+    LIGHTPATH,
+    PRODUCTION_INTERNET,
+    QoSSpec,
+    ReliableChannel,
+)
+
+
+class TestReliableChannel:
+    def test_clean_delivery_single_attempt(self):
+        ch = ReliableChannel(QoSSpec(10.0, 0.0, 0.0, 1000.0), seed=0)
+        r = ch.transmit(5.0, 1000)
+        assert r.attempts == 1
+        assert r.retransmission_delay == 0.0
+        assert r.arrival_time >= 5.010
+
+    def test_delay_accounts_serialization(self):
+        ch = ReliableChannel(QoSSpec(0.0, 0.0, 0.0, 8.0), seed=1)
+        r = ch.transmit(0.0, 1_000_000)  # 1 MB at 8 Mb/s = 1 s
+        assert r.delay == pytest.approx(1.0, rel=0.01)
+
+    def test_lossy_link_retransmits(self):
+        ch = ReliableChannel(QoSSpec(10.0, 0.0, 0.5, 1000.0), seed=2)
+        results = [ch.transmit(float(i), 100) for i in range(100)]
+        attempts = sum(r.attempts for r in results)
+        assert attempts > 150  # ~2x with 50% loss
+        assert any(r.retransmission_delay > 0 for r in results)
+
+    def test_stats_accumulate(self):
+        ch = ReliableChannel(PRODUCTION_INTERNET, seed=3)
+        for i in range(50):
+            ch.transmit(float(i), 2048)
+        s = ch.stats
+        assert s.messages == 50
+        assert s.bytes == 50 * 2048
+        assert s.attempts >= 50
+        assert s.mean_delay > 0
+        assert s.worst_delay >= s.mean_delay
+
+    def test_total_loss_raises(self):
+        # loss_rate must be < 1, so emulate near-certain loss.
+        ch = ReliableChannel(QoSSpec(1.0, 0.0, 0.999999, 100.0), seed=4)
+        with pytest.raises(NetworkError):
+            ch.transmit(0.0, 100)
+
+    def test_monotone_logical_time(self):
+        ch = ReliableChannel(LIGHTPATH, seed=5)
+        r1 = ch.transmit(0.0)
+        r2 = ch.transmit(10.0)
+        assert r2.send_time > r1.send_time
+        assert r2.arrival_time > r2.send_time
+
+    def test_deterministic_with_seed(self):
+        a = ReliableChannel(PRODUCTION_INTERNET, seed=6).transmit(0.0, 512)
+        b = ReliableChannel(PRODUCTION_INTERNET, seed=6).transmit(0.0, 512)
+        assert a.arrival_time == b.arrival_time
+
+    def test_rto_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(LIGHTPATH, rto_factor=0.0)
+
+    def test_loss_recoveries_counted(self):
+        ch = ReliableChannel(QoSSpec(5.0, 0.0, 0.3, 1000.0), seed=7)
+        for i in range(200):
+            ch.transmit(float(i))
+        assert ch.stats.loss_recoveries > 30

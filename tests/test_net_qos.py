@@ -1,0 +1,68 @@
+"""Tests for QoS link models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    CAMPUS_LAN,
+    DEGRADED_INTERNET,
+    LIGHTPATH,
+    PRODUCTION_INTERNET,
+    QoSSpec,
+)
+
+
+class TestQoSSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QoSSpec(-1.0, 0.0, 0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            QoSSpec(1.0, 0.0, 1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            QoSSpec(1.0, 0.0, 0.0, 0.0)
+
+    def test_serialization_delay(self):
+        q = QoSSpec(0.0, 0.0, 0.0, bandwidth_mbps=8.0)
+        # 1 MB at 8 Mb/s = 1 s.
+        assert q.serialization_delay_s(1_000_000) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            q.serialization_delay_s(-1)
+
+    def test_sample_delay_floor_is_latency(self):
+        rng = np.random.default_rng(0)
+        q = QoSSpec(10.0, 5.0, 0.0, 1000.0)
+        delays = [q.sample_delay_s(rng) for _ in range(200)]
+        assert min(delays) >= 0.010
+
+    def test_jitter_increases_spread(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        smooth = QoSSpec(10.0, 0.1, 0.0, 1000.0)
+        jittery = QoSSpec(10.0, 20.0, 0.0, 1000.0)
+        s = np.std([smooth.sample_delay_s(rng1) for _ in range(500)])
+        j = np.std([jittery.sample_delay_s(rng2) for _ in range(500)])
+        assert j > 10 * s
+
+    def test_loss_sampling_rate(self):
+        rng = np.random.default_rng(2)
+        q = QoSSpec(1.0, 0.0, 0.2, 100.0)
+        losses = sum(q.sample_loss(rng) for _ in range(5000))
+        assert losses == pytest.approx(1000, rel=0.15)
+
+    def test_scaled_latency(self):
+        q = LIGHTPATH.scaled_latency(2.0)
+        assert q.latency_ms == pytest.approx(60.0)
+        assert q.loss_rate == LIGHTPATH.loss_rate
+
+
+class TestPresets:
+    def test_lightpath_beats_production(self):
+        assert LIGHTPATH.jitter_ms < PRODUCTION_INTERNET.jitter_ms
+        assert LIGHTPATH.loss_rate < PRODUCTION_INTERNET.loss_rate
+        assert LIGHTPATH.bandwidth_mbps > PRODUCTION_INTERNET.bandwidth_mbps
+
+    def test_degraded_is_worst(self):
+        assert DEGRADED_INTERNET.loss_rate > PRODUCTION_INTERNET.loss_rate
+
+    def test_campus_is_local(self):
+        assert CAMPUS_LAN.latency_ms < 1.0

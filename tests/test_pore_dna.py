@@ -1,0 +1,64 @@
+"""Tests for the CG ssDNA builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pore import SSDNAParameters, build_ssdna
+
+
+class TestBuilder:
+    def test_basic_chain(self):
+        pos, masses, charges, topo = build_ssdna(10, seed=0)
+        assert pos.shape == (10, 3)
+        assert topo.n_bonds == 9
+        assert topo.n_angles == 8
+        np.testing.assert_allclose(charges, -1.0)
+        np.testing.assert_allclose(masses, 312.0)
+
+    def test_spacing_along_direction(self):
+        pos, *_ = build_ssdna(5, wiggle=0.0, direction=(0, 0, -1), seed=1)
+        dz = np.diff(pos[:, 2])
+        np.testing.assert_allclose(dz, -6.5)
+
+    def test_custom_start(self):
+        pos, *_ = build_ssdna(3, start=(1.0, 2.0, 3.0), wiggle=0.0, seed=2)
+        np.testing.assert_allclose(pos[0], [1.0, 2.0, 3.0])
+
+    def test_wiggle_transverse_only(self):
+        pos, *_ = build_ssdna(20, direction=(0, 0, 1), wiggle=0.5, seed=3)
+        # z spacing unchanged by transverse wiggle.
+        np.testing.assert_allclose(np.diff(pos[:, 2]), 6.5, atol=1e-12)
+        # But x/y are perturbed.
+        assert np.std(pos[:, 0]) > 0.1
+
+    def test_deterministic_with_seed(self):
+        a, *_ = build_ssdna(8, seed=42)
+        b, *_ = build_ssdna(8, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fene_params(self):
+        params = SSDNAParameters()
+        _, _, _, topo = build_ssdna(4, params=params, seed=4)
+        np.testing.assert_allclose(topo.bond_params[:, 0], params.fene_k)
+        np.testing.assert_allclose(
+            topo.bond_params[:, 1], params.fene_rmax_factor * params.rise
+        )
+
+    def test_too_few_bases(self):
+        with pytest.raises(ConfigurationError):
+            build_ssdna(1)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_ssdna(4, direction=(0, 0, 0))
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            SSDNAParameters(bead_mass=-1.0)
+        with pytest.raises(ConfigurationError):
+            SSDNAParameters(fene_rmax_factor=0.9)
+
+    def test_arbitrary_direction_normalized(self):
+        pos, *_ = build_ssdna(3, direction=(2, 0, 0), wiggle=0.0, seed=5)
+        np.testing.assert_allclose(pos[1] - pos[0], [6.5, 0.0, 0.0], atol=1e-12)

@@ -1,0 +1,122 @@
+"""Tests for the dsDNA builder and the non-hemolysin pore presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.md import (
+    DihedralForce,
+    FENEBondForce,
+    HarmonicAngleForce,
+    HarmonicBondForce,
+    LangevinBAOAB,
+    ParticleSystem,
+    Simulation,
+    WCAForce,
+    measure_dihedrals,
+)
+from repro.pore import (
+    DSDNAParameters,
+    build_dsdna,
+    mspa_pore,
+    solid_state_nanopore,
+)
+from repro.units import timestep_fs
+
+
+class TestBuildDsDNA:
+    def test_bead_layout(self):
+        duplex = build_dsdna(10, seed=0)
+        assert duplex.positions.shape == (20, 3)
+        assert duplex.backbone.n_bonds == 2 * 9
+        assert duplex.rungs.n_bonds == 10
+        assert duplex.dihedrals["quads"].shape == (9, 4)
+
+    def test_antiparallel_rungs(self):
+        params = DSDNAParameters()
+        duplex = build_dsdna(6, params=params, wiggle=0.0, seed=1)
+        pos = duplex.positions
+        for i in range(6):
+            rung = np.linalg.norm(pos[2 * i] - pos[2 * i + 1])
+            assert rung == pytest.approx(params.pairing_r0, rel=1e-9)
+
+    def test_helical_twist_built_in(self):
+        params = DSDNAParameters()
+        duplex = build_dsdna(8, params=params, wiggle=0.0, seed=2)
+        phis = measure_dihedrals(duplex.positions, duplex.dihedrals["quads"])
+        # Uniform, non-zero inter-basepair dihedral (measured about the
+        # tilted rung axis it is smaller than the nominal helix twist).
+        assert np.allclose(phis, phis[0], atol=1e-9)
+        assert 0.1 < abs(phis[0]) <= params.twist_per_bp
+        # And it grows with the nominal twist.
+        steep = DSDNAParameters(twist_per_bp=np.deg2rad(50.0))
+        d2 = build_dsdna(8, params=steep, wiggle=0.0, seed=2)
+        phis2 = measure_dihedrals(d2.positions, d2.dihedrals["quads"])
+        assert abs(phis2[0]) > abs(phis[0])
+
+    def test_duplex_is_stable_under_dynamics(self):
+        duplex = build_dsdna(8, seed=3)
+        system = ParticleSystem(duplex.positions, duplex.masses,
+                                charges=duplex.charges)
+        system.initialize_velocities(300.0, seed=4)
+        dih = duplex.dihedrals
+        forces = [
+            FENEBondForce(duplex.backbone),
+            HarmonicAngleForce(duplex.backbone),
+            HarmonicBondForce(duplex.rungs),
+            DihedralForce(dih["quads"], dih["k"], dih["n"], dih["phi0"]),
+            WCAForce(system.types, epsilon=np.array([0.3]),
+                     sigma=np.array([3.0]), exclusions=duplex.exclusions()),
+        ]
+        sim = Simulation(system, forces,
+                         LangevinBAOAB(timestep_fs(2.0), friction=200.0, seed=5))
+        sim.step(2000)
+        sim.system.validate()
+        # Rungs hold: pairing distance stays near r0.
+        p = system.positions
+        rungs = [np.linalg.norm(p[2 * i] - p[2 * i + 1]) for i in range(8)]
+        assert max(rungs) < 2.0 * DSDNAParameters().pairing_r0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_dsdna(1)
+        with pytest.raises(ConfigurationError):
+            DSDNAParameters(pairing_r0=0.0)
+
+
+class TestPorePresets:
+    def test_mspa_funnel_shape(self):
+        pore = mspa_pore()
+        d = pore.describe()
+        # Constriction near the bottom, not mid-pore.
+        assert d["constriction_z"] < -10.0
+        assert d["min_radius"] == pytest.approx(6.0, rel=0.05)
+
+    def test_solid_state_cylinder(self):
+        pore = solid_state_nanopore(radius=15.0, thickness=20.0)
+        g = pore.geometry
+        zz = np.linspace(-8.0, 8.0, 50)
+        rr = g.radius(zz)
+        # Nearly cylindrical through the membrane span.
+        assert rr.min() > 14.0
+        assert not pore.sevenfold
+
+    def test_solid_state_passes_dsdna(self):
+        # dsDNA diameter ~ pairing_r0 + bead sigma: fits a 15 A pore,
+        # not hemolysin's 7 A constriction.
+        from repro.pore import HemolysinPore
+
+        duplex_radius = DSDNAParameters().pairing_r0 / 2.0 + 2.5
+        assert solid_state_nanopore().geometry.constriction_radius > duplex_radius
+        assert HemolysinPore().geometry.constriction_radius < duplex_radius
+
+    def test_presets_produce_working_fields(self):
+        for pore in (mspa_pore(), solid_state_nanopore()):
+            pos = np.array([[0.0, 0.0, 0.0], [30.0, 0.0, 0.0]])
+            e, f = pore.energy_and_forces(pos)
+            assert np.isfinite(e)
+            assert f.shape == (2, 3)
+
+    def test_solid_state_validation(self):
+        with pytest.raises(ConfigurationError):
+            solid_state_nanopore(radius=1.0)

@@ -1,0 +1,86 @@
+"""Tests for the alpha-hemolysin pore geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pore import DEFAULT_GEOMETRY, PoreGeometry
+
+
+class TestConstruction:
+    def test_default_valid(self):
+        g = DEFAULT_GEOMETRY
+        assert g.length == 100.0
+
+    def test_station_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PoreGeometry(z_top=-10.0, z_constriction=0.0, z_bottom=10.0)
+
+    def test_constriction_must_be_narrowest(self):
+        with pytest.raises(ConfigurationError):
+            PoreGeometry(constriction_radius=50.0)
+
+    def test_positive_radii(self):
+        with pytest.raises(ConfigurationError):
+            PoreGeometry(barrel_radius=-1.0)
+
+
+class TestRadiusProfile:
+    def test_constriction_radius_attained(self):
+        g = DEFAULT_GEOMETRY
+        assert g.radius(g.z_constriction) == pytest.approx(g.constriction_radius)
+
+    def test_min_radius_is_constriction(self):
+        g = DEFAULT_GEOMETRY
+        assert g.min_radius() == pytest.approx(g.constriction_radius, rel=1e-3)
+
+    def test_vestibule_wider_than_barrel(self):
+        g = DEFAULT_GEOMETRY
+        r_top = float(g.radius(g.z_top))
+        r_bottom = float(g.radius(g.z_bottom))
+        assert r_top > r_bottom
+
+    def test_radius_bounded(self):
+        g = DEFAULT_GEOMETRY
+        zz = np.linspace(g.z_bottom - 20, g.z_top + 20, 500)
+        rr = g.radius(zz)
+        assert np.all(rr >= g.constriction_radius - 1e-9)
+        assert np.all(rr <= g.vestibule_radius + 1e-9)
+
+    def test_derivative_matches_finite_difference(self):
+        g = DEFAULT_GEOMETRY
+        zz = np.linspace(g.z_bottom, g.z_top, 400)
+        h = 1e-6
+        fd = (g.radius(zz + h) - g.radius(zz - h)) / (2 * h)
+        np.testing.assert_allclose(g.radius_derivative(zz), fd, atol=1e-6)
+
+    def test_profile_shape(self):
+        z, r = DEFAULT_GEOMETRY.radius_profile(101)
+        assert z.shape == r.shape == (101,)
+        assert z[0] == DEFAULT_GEOMETRY.z_bottom
+        assert z[-1] == DEFAULT_GEOMETRY.z_top
+
+    def test_profile_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_GEOMETRY.radius_profile(1)
+
+
+class TestSevenfold:
+    def test_wall_radius_modulation(self):
+        g = DEFAULT_GEOMETRY
+        phi = np.linspace(0, 2 * np.pi, 7, endpoint=False)
+        r = g.wall_radius(0.0, phi)
+        # cos(7 phi) = 1 at each of the seven symmetry stations.
+        np.testing.assert_allclose(r, g.radius(0.0) + g.sevenfold_amplitude)
+
+    def test_sevenfold_periodicity(self):
+        g = DEFAULT_GEOMETRY
+        phi = np.linspace(0, 2 * np.pi, 50)
+        r1 = g.wall_radius(5.0, phi)
+        r2 = g.wall_radius(5.0, phi + 2 * np.pi / 7)
+        np.testing.assert_allclose(r1, r2, atol=1e-12)
+
+    def test_contains(self):
+        g = DEFAULT_GEOMETRY
+        assert g.contains(0.0)
+        assert not g.contains(g.z_top + 1.0)

@@ -1,0 +1,46 @@
+"""Tests for the implicit solvent model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pore import DEFAULT_GEOMETRY, ImplicitSolvent
+from repro.units import KB, MASS_TO_KCAL
+
+
+class TestImplicitSolvent:
+    def test_diffusion_constant_order_of_magnitude(self):
+        s = ImplicitSolvent()
+        # Hydrated nucleotide: tens to hundreds of A^2/ns.
+        assert 10.0 < s.diffusion_constant() < 1000.0
+
+    def test_pore_friction_higher(self):
+        s = ImplicitSolvent()
+        assert s.friction(in_pore=True) > s.friction(in_pore=False)
+        assert s.diffusion_constant(in_pore=True) < s.diffusion_constant()
+
+    def test_friction_profile_blends(self):
+        s = ImplicitSolvent()
+        g = DEFAULT_GEOMETRY
+        z = np.array([g.z_bottom - 40.0, 0.5 * (g.z_bottom + g.z_top), g.z_top + 40.0])
+        prof = s.friction_profile(z, g)
+        assert prof[0] == pytest.approx(s.bulk_friction, rel=1e-3)
+        assert prof[2] == pytest.approx(s.bulk_friction, rel=1e-3)
+        assert prof[1] == pytest.approx(s.friction(in_pore=True), rel=1e-2)
+
+    def test_langevin_rate_consistency(self):
+        s = ImplicitSolvent()
+        m = 312.0
+        gamma = s.langevin_rate(m)
+        assert gamma * m * MASS_TO_KCAL == pytest.approx(s.bulk_friction)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ImplicitSolvent(bulk_friction=0.0)
+        with pytest.raises(ConfigurationError):
+            ImplicitSolvent(pore_friction_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ImplicitSolvent(temperature=-1.0)
+        s = ImplicitSolvent()
+        with pytest.raises(ConfigurationError):
+            s.langevin_rate(0.0)

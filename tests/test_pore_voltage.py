@@ -1,0 +1,50 @@
+"""Tests for the voltage <-> tilt conversion."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pore import tilt_from_voltage, voltage_from_tilt
+
+
+class TestTiltFromVoltage:
+    def test_sign_convention(self):
+        # Positive bias drives the negative DNA down: negative tilt.
+        assert tilt_from_voltage(120.0) < 0.0
+        assert tilt_from_voltage(-120.0) > 0.0
+
+    def test_linear_in_voltage(self):
+        assert tilt_from_voltage(240.0) == pytest.approx(
+            2 * tilt_from_voltage(120.0))
+
+    def test_experimental_order_of_magnitude(self):
+        """~0.1-0.3 pN/mV is the nanopore-force literature range."""
+        from repro.units import kcal_per_angstrom2_to_pn_per_angstrom
+
+        tilt = tilt_from_voltage(120.0)  # kcal/mol/A
+        force_pn = abs(tilt) / 0.0143929  # kcal/mol/A -> pN
+        assert 5.0 < force_pn < 60.0
+        assert 0.05 < force_pn / 120.0 < 0.5  # pN per mV
+
+    def test_screening_reduces_force(self):
+        bare = tilt_from_voltage(120.0, effective_charge_fraction=1.0)
+        screened = tilt_from_voltage(120.0, effective_charge_fraction=0.4)
+        assert abs(screened) < abs(bare)
+
+    def test_roundtrip(self):
+        for v in (60.0, 120.0, -200.0):
+            tilt = tilt_from_voltage(v)
+            assert voltage_from_tilt(tilt) == pytest.approx(v)
+
+    def test_zero(self):
+        assert tilt_from_voltage(0.0) == 0.0
+        assert voltage_from_tilt(0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [
+        dict(membrane_thickness=0.0),
+        dict(charge_per_length=-1.0),
+        dict(effective_charge_fraction=0.0),
+        dict(effective_charge_fraction=1.5),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            tilt_from_voltage(120.0, **bad)

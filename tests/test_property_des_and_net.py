@@ -1,0 +1,71 @@
+"""Property-based tests for the DES core and the network substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import EventLoop
+from repro.net import QoSSpec, ReliableChannel
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        loop = EventLoop()
+        fired = []
+        for d in delays:
+            loop.schedule(d, (lambda t=d: fired.append(t)))
+        loop.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert loop.now == max(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_boundary(self, delays, horizon):
+        loop = EventLoop()
+        fired = []
+        for d in delays:
+            loop.schedule(d, (lambda t=d: fired.append(t)))
+        loop.run(until=horizon)
+        assert all(t <= horizon for t in fired)
+        assert loop.now == horizon or loop.now == max(delays)
+        loop.run()
+        assert len(fired) == len(delays)
+
+
+qos_specs = st.builds(
+    QoSSpec,
+    latency_ms=st.floats(min_value=0.0, max_value=200.0),
+    jitter_ms=st.floats(min_value=0.0, max_value=50.0),
+    loss_rate=st.floats(min_value=0.0, max_value=0.5),
+    bandwidth_mbps=st.floats(min_value=1.0, max_value=10_000.0),
+)
+
+
+class TestChannelProperties:
+    @given(qos_specs, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_arrival_after_send_plus_latency(self, qos, seed):
+        ch = ReliableChannel(qos, seed=seed)
+        r = ch.transmit(1.0, 1024)
+        floor = 1.0 + qos.latency_ms * 1e-3 + qos.serialization_delay_s(1024)
+        assert r.arrival_time >= floor - 1e-12
+        assert r.attempts >= 1
+        assert r.retransmission_delay >= 0.0
+
+    @given(qos_specs, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_stats_consistent(self, qos, seed):
+        ch = ReliableChannel(qos, seed=seed)
+        for i in range(10):
+            ch.transmit(float(i), 256)
+        s = ch.stats
+        assert s.messages == 10
+        assert s.attempts >= 10
+        assert s.worst_delay >= s.mean_delay - 1e-12
+        assert s.loss_recoveries == s.attempts - s.messages

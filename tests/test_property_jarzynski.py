@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) for the Jarzynski estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import cumulant_estimator, exponential_estimator
+from repro.units import KB
+
+T = 300.0
+kT = KB * T
+
+work_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=64),
+    elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+)
+
+
+class TestExponentialProperties:
+    @given(work_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_jensen_inequality(self, w):
+        """DeltaF <= <W> for every work sample set (the second law)."""
+        assert exponential_estimator(w, T) <= w.mean() + 1e-9
+
+    @given(work_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_below_by_min(self, w):
+        """The exponential average is dominated by the smallest work:
+        DeltaF >= min(W) - kT ln(m) and always >= min(W) - kT ln m."""
+        m = w.shape[0]
+        assert exponential_estimator(w, T) >= w.min() - kT * np.log(m) - 1e-9
+
+    @given(work_arrays, st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_shift_covariance(self, w, c):
+        """F(W + c) = F(W) + c exactly (gauge freedom of work origins)."""
+        assert exponential_estimator(w + c, T) == pytest.approx(
+            exponential_estimator(w, T) + c, abs=1e-6
+        )
+
+    @given(work_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariance(self, w):
+        rng = np.random.default_rng(0)
+        assert exponential_estimator(rng.permutation(w), T) == pytest.approx(
+            exponential_estimator(w, T), abs=1e-9
+        )
+
+    @given(work_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_duplication_invariance(self, w):
+        """Duplicating every sample must not change the estimate."""
+        assert exponential_estimator(np.concatenate([w, w]), T) == pytest.approx(
+            exponential_estimator(w, T), abs=1e-9
+        )
+
+    @given(work_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_finite_output(self, w):
+        assert np.isfinite(exponential_estimator(w, T))
+
+
+class TestCumulantProperties:
+    @given(work_arrays, st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_shift_covariance(self, w, c):
+        assert cumulant_estimator(w + c, T) == pytest.approx(
+            cumulant_estimator(w, T) + c, abs=1e-6
+        )
+
+    @given(work_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_below_mean_work(self, w):
+        """Variance term is non-negative: estimate <= <W>."""
+        assert cumulant_estimator(w, T) <= w.mean() + 1e-9
+
+    @given(work_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_constant_work_is_exact(self, w):
+        c = float(w[0])
+        const = np.full(8, c)
+        assert cumulant_estimator(const, T) == pytest.approx(c, abs=1e-9)

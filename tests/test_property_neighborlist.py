@@ -1,0 +1,60 @@
+"""Property-based tests for the neighbor list against brute force."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import NeighborList
+
+
+@st.composite
+def configurations(draw):
+    n = draw(st.integers(min_value=2, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    scale = draw(st.floats(min_value=0.5, max_value=30.0))
+    cutoff = draw(st.floats(min_value=0.5, max_value=6.0))
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, scale, size=(n, 3))
+    return positions, cutoff
+
+
+def brute(positions, reach):
+    n = positions.shape[0]
+    out = set()
+    for i in range(n):
+        d = positions[i + 1:] - positions[i]
+        hits = np.flatnonzero(np.einsum("ij,ij->i", d, d) <= reach**2)
+        for j in hits:
+            out.add((i, i + 1 + int(j)))
+    return out
+
+
+class TestNeighborListProperties:
+    @given(configurations())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_pair_set(self, config):
+        positions, cutoff = config
+        nl = NeighborList(cutoff=cutoff, skin=0.0)
+        i, j = nl.pairs(positions)
+        assert set(zip(i.tolist(), j.tolist())) == brute(positions, cutoff)
+
+    @given(configurations())
+    @settings(max_examples=40, deadline=None)
+    def test_with_skin_is_superset(self, config):
+        positions, cutoff = config
+        nl = NeighborList(cutoff=cutoff, skin=1.0)
+        i, j = nl.pairs(positions)
+        got = set(zip(i.tolist(), j.tolist()))
+        assert brute(positions, cutoff) <= got
+        # And never beyond cutoff + skin.
+        assert got <= brute(positions, cutoff + 1.0)
+
+    @given(configurations())
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_canonical(self, config):
+        positions, cutoff = config
+        nl = NeighborList(cutoff=cutoff, skin=0.5)
+        i, j = nl.pairs(positions)
+        assert np.all(i < j)
+        keys = list(zip(i.tolist(), j.tolist()))
+        assert len(keys) == len(set(keys))

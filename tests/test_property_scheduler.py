@@ -1,0 +1,91 @@
+"""Property-based tests: batch-queue invariants under random job streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import BatchQueue, ComputeResource, EventLoop, Job, JobState
+
+
+@st.composite
+def job_streams(draw):
+    capacity = draw(st.integers(min_value=32, max_value=512))
+    n_jobs = draw(st.integers(min_value=1, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    jobs = [
+        Job(
+            f"j{i}",
+            procs=int(rng.integers(1, capacity + 1)),
+            duration_hours=float(rng.uniform(0.1, 8.0)),
+        )
+        for i in range(n_jobs)
+    ]
+    submit_times = np.sort(rng.uniform(0.0, 10.0, size=n_jobs))
+    return capacity, jobs, submit_times.tolist()
+
+
+class TestBatchQueueInvariants:
+    @given(job_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_all_jobs_complete(self, stream):
+        capacity, jobs, submits = stream
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", capacity), loop)
+        for job, t in zip(jobs, submits):
+            loop.schedule_at(t, (lambda j=job: q.submit(j)))
+        loop.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        assert q.procs_in_use == 0
+
+    @given(job_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_never_oversubscribed(self, stream):
+        """At every utilization-trace point, procs in use <= capacity."""
+        capacity, jobs, submits = stream
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", capacity), loop)
+        for job, t in zip(jobs, submits):
+            loop.schedule_at(t, (lambda j=job: q.submit(j)))
+        loop.run()
+        assert all(used <= q.capacity for _, used in q.utilization_trace)
+        assert all(used >= 0 for _, used in q.utilization_trace)
+
+    @given(job_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_causality(self, stream):
+        """start >= submit, end = start + wall time, no time travel."""
+        capacity, jobs, submits = stream
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", capacity), loop)
+        for job, t in zip(jobs, submits):
+            loop.schedule_at(t, (lambda j=job: q.submit(j)))
+        loop.run()
+        for job in jobs:
+            assert job.start_time >= job.submit_time - 1e-9
+            wall = q.resource.wall_hours(job.duration_hours)
+            assert job.end_time == pytest.approx(job.start_time + wall)
+
+    @given(job_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_interval_overlap_respects_capacity(self, stream):
+        """Reconstruct concurrency from (start, end) intervals: total procs
+        of overlapping jobs never exceed exposed capacity."""
+        capacity, jobs, submits = stream
+        loop = EventLoop()
+        q = BatchQueue(ComputeResource("X", "G", capacity), loop)
+        for job, t in zip(jobs, submits):
+            loop.schedule_at(t, (lambda j=job: q.submit(j)))
+        loop.run()
+        events = []
+        for j in jobs:
+            events.append((j.start_time, j.procs))
+            events.append((j.end_time, -j.procs))
+        events.sort(key=lambda e: (e[0], -e[1] < 0))
+        # Process ends before starts at equal times (completion frees first).
+        events.sort(key=lambda e: (e[0], 0 if e[1] < 0 else 1))
+        in_use = 0
+        for _, delta in events:
+            in_use += delta
+            assert in_use <= q.capacity + 1e-9

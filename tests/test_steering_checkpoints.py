@@ -1,0 +1,63 @@
+"""Tests for the checkpoint tree with cloning."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.steering import CheckpointTree
+
+
+class TestCheckpointTree:
+    def test_commit_lineage(self):
+        t = CheckpointTree()
+        a = t.commit("main", "start", {"step": 0})
+        b = t.commit("main", "mid", {"step": 10})
+        assert b.parent == a.node_id
+        assert t.head("main") is b
+        assert len(t) == 2
+
+    def test_lineage_walk(self):
+        t = CheckpointTree()
+        a = t.commit("main", "a", {})
+        b = t.commit("main", "b", {})
+        c = t.commit("main", "c", {})
+        ids = [n.node_id for n in t.lineage(c.node_id)]
+        assert ids == [c.node_id, b.node_id, a.node_id]
+
+    def test_fork_creates_branch(self):
+        t = CheckpointTree()
+        a = t.commit("main", "a", {"step": 5})
+        clone = t.fork(a.node_id, "probe")
+        assert clone.parent == a.node_id
+        assert clone.payload == a.payload
+        assert set(t.branches()) == {"main", "probe"}
+        # Branches evolve independently.
+        t.commit("probe", "probe-1", {"step": 6})
+        t.commit("main", "main-2", {"step": 7})
+        assert t.head("probe").label == "probe-1"
+        assert t.head("main").label == "main-2"
+
+    def test_fork_existing_branch_rejected(self):
+        t = CheckpointTree()
+        a = t.commit("main", "a", {})
+        with pytest.raises(CheckpointError):
+            t.fork(a.node_id, "main")
+
+    def test_children_query(self):
+        t = CheckpointTree()
+        a = t.commit("main", "a", {})
+        b = t.commit("main", "b", {})
+        c1 = t.fork(a.node_id, "x")
+        c2 = t.fork(a.node_id, "y")
+        kids = {n.node_id for n in t.children(a.node_id)}
+        assert kids == {b.node_id, c1.node_id, c2.node_id}
+
+    def test_unknown_node(self):
+        t = CheckpointTree()
+        with pytest.raises(CheckpointError):
+            t.node(99)
+        with pytest.raises(CheckpointError):
+            t.head("nope")
+
+    def test_empty_branch_name(self):
+        with pytest.raises(CheckpointError):
+            CheckpointTree().commit("", "x", {})

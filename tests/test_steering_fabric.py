@@ -1,0 +1,62 @@
+"""Tests for fabric-aware steering connections (net + steering integration)."""
+
+import pytest
+
+from repro.errors import UnreachableHostError
+from repro.net import GatewayNode, Host, LIGHTPATH, NetworkFabric
+from repro.steering import (
+    MessageType,
+    SteeringMessage,
+    SteeringService,
+    ServiceConnection,
+    connect_over_fabric,
+)
+
+
+def build_fabric():
+    f = NetworkFabric()
+    f.add_host(Host("ucl-viz", "UCL"))
+    f.add_host(Host("ncsa-sim", "NCSA"))
+    f.add_host(Host("psc-sim", "PSC", hidden=True))
+    f.add_host(Host("hpcx-sim", "HPCx", hidden=True))
+    for a, b in [("UCL", "NCSA"), ("UCL", "PSC"), ("UCL", "HPCx")]:
+        f.add_link(a, b, LIGHTPATH)
+    f.add_gateway(GatewayNode("psc-agn", "PSC"))
+    return f
+
+
+class TestConnectOverFabric:
+    def test_open_site_direct(self):
+        fabric = build_fabric()
+        svc = SteeringService("sim@ncsa")
+        conn, route = connect_over_fabric(svc, "steerer", fabric,
+                                          "ucl-viz", "ncsa-sim", seed=1)
+        assert not route.relayed
+        assert conn.channel.qos.latency_ms == LIGHTPATH.latency_ms
+
+    def test_gateway_site_pays_penalty(self):
+        fabric = build_fabric()
+        svc = SteeringService("sim@psc")
+        conn, route = connect_over_fabric(svc, "steerer", fabric,
+                                          "ucl-viz", "psc-sim", seed=2)
+        assert route.relayed
+        assert conn.channel.qos.latency_ms > LIGHTPATH.latency_ms
+
+    def test_hidden_site_unreachable(self):
+        fabric = build_fabric()
+        svc = SteeringService("sim@hpcx")
+        with pytest.raises(UnreachableHostError):
+            connect_over_fabric(svc, "steerer", fabric, "ucl-viz", "hpcx-sim")
+
+    def test_messages_delivered_with_route_delay(self):
+        fabric = build_fabric()
+        svc = SteeringService("sim@psc")
+        ServiceConnection(svc, "sim@psc")  # the simulation side, in-process
+        conn, route = connect_over_fabric(svc, "steerer", fabric,
+                                          "ucl-viz", "psc-sim", seed=3)
+        arrival = conn.send(SteeringMessage(MessageType.STATUS, "steerer",
+                                            "sim@psc"))
+        # At least the relayed one-way latency.
+        assert arrival >= route.qos.latency_ms * 1e-3
+        svc.clock.advance(arrival + 0.01)
+        assert len(svc.collect("sim@psc")) == 1

@@ -1,0 +1,161 @@
+"""Integration tests: full steering loop — client + steerer + visualizer
+against a live MD simulation (the Fig. 2 architecture end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SteeringError
+from repro.md import (
+    HarmonicRestraintForce,
+    LangevinBAOAB,
+    ParticleSystem,
+    Simulation,
+    SteeringForce,
+)
+from repro.steering import (
+    CheckpointTree,
+    ServiceConnection,
+    SteerableParam,
+    Steerer,
+    SteeringClient,
+    SteeringService,
+    Visualizer,
+)
+from repro.units import timestep_fs
+
+
+@pytest.fixture
+def steering_setup():
+    n = 5
+    rng = np.random.default_rng(0)
+    pos = rng.normal(size=(n, 3))
+    system = ParticleSystem(pos, np.full(n, 50.0))
+    steer_force = SteeringForce(n)
+    integ = LangevinBAOAB(timestep_fs(5.0), friction=50.0, seed=1)
+    sim = Simulation(
+        system,
+        [HarmonicRestraintForce(np.arange(n), pos.copy(), 1.0), steer_force],
+        integ,
+    )
+    svc = SteeringService("sim1")
+    client = SteeringClient(ServiceConnection(svc, "sim1"),
+                            steering_force=steer_force)
+    steerer = Steerer(ServiceConnection(svc, "steerer"), "sim1")
+    viz = Visualizer(ServiceConnection(svc, "viz"), "sim1")
+    client.subscribe("viz")
+    sim.attach_steering(client, stride=5)
+    return sim, client, steerer, viz, integ
+
+
+class TestParams:
+    def test_list_params(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        seq = steerer.request_params()
+        sim.step(10)
+        reply = steerer.reply_for(seq)
+        assert reply is not None
+        assert {"step", "time_ns", "potential_energy"} <= set(reply.payload["values"])
+
+    def test_set_steerable_param(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        client.register_param(SteerableParam(
+            "temperature",
+            getter=lambda: integ.temperature,
+            setter=lambda v: setattr(integ, "temperature", float(v)),
+        ))
+        seq = steerer.set_param("temperature", 350.0)
+        sim.step(10)
+        steerer.expect_ack(seq)
+        assert integ.temperature == 350.0
+
+    def test_set_monitored_only_param_errors(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        seq = steerer.set_param("step", 0)
+        sim.step(10)
+        with pytest.raises(SteeringError):
+            steerer.expect_ack(seq)
+
+    def test_unknown_param(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        seq = steerer.set_param("bogus", 1)
+        sim.step(10)
+        with pytest.raises(SteeringError):
+            steerer.expect_ack(seq)
+
+
+class TestControl:
+    def test_pause_resume(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        steerer.pause()
+        sim.step(20)
+        steps_at_pause = sim.step_count
+        assert sim.paused
+        steerer.resume()
+        sim.step(20)
+        assert sim.step_count > steps_at_pause
+
+    def test_stop(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        steerer.stop()
+        sim.step(50)
+        assert sim.stopped
+        assert sim.step_count < 50
+
+    def test_checkpoint_lands_in_tree(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        seq = steerer.checkpoint("probe point")
+        sim.step(10)
+        ack = steerer.expect_ack(seq)
+        node = client.tree.node(ack.payload["node_id"])
+        assert node.label == "probe point"
+        assert node.payload["n_particles"] == 5
+
+    def test_clone_creates_branch_and_simulation(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        seq = steerer.clone(branch="vv-test")
+        sim.step(10)
+        ack = steerer.expect_ack(seq)
+        assert ack.payload["branch"] == "vv-test"
+        assert "vv-test" in client.tree.branches()
+        assert len(client.clones) == 1
+        branch, clone = client.clones[0]
+        # Clone advances independently of the original.
+        before = clone.step_count
+        sim.step(10)
+        assert clone.step_count == before
+
+
+class TestVisualizerPath:
+    def test_data_samples_flow(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        sim.step(50)
+        n = viz.consume()
+        assert n >= 5
+        assert viz.samples
+        assert "potential_energy" in viz.samples[0]
+
+    def test_frames_render(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        sim.step(10)
+        client.emit_frame(sim)
+        viz.consume()
+        assert viz.frames_rendered == 1
+        assert viz.latest_frame.n_particles == 5
+
+    def test_direct_steer_force(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        viz.send_force(np.array([0, 1, 2]), np.array([0.0, 0.0, 8.0]))
+        sim.step(10)
+        assert client.steering_force.active
+        # Clearing works too.
+        viz.clear_force()
+        sim.step(10)
+        assert not client.steering_force.active
+
+    def test_custom_observable_in_samples(self, steering_setup):
+        sim, client, steerer, viz, integ = steering_setup
+        client.register_observable("com_z",
+                                   lambda s: float(s.system.center_of_mass()[2]))
+        sim.step(20)
+        viz.consume()
+        assert "com_z" in viz.samples[-1]

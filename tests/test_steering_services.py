@@ -1,0 +1,119 @@
+"""Tests for steering services, registry, clock and connections."""
+
+import pytest
+
+from repro.errors import SteeringError
+from repro.net import LIGHTPATH, ReliableChannel
+from repro.steering import (
+    LogicalClock,
+    MessageType,
+    Registry,
+    ServiceConnection,
+    SteeringMessage,
+    SteeringService,
+)
+
+
+class TestLogicalClock:
+    def test_advance(self):
+        c = LogicalClock()
+        assert c.advance(1.5) == 1.5
+        assert c.now == 1.5
+
+    def test_no_backwards(self):
+        with pytest.raises(SteeringError):
+            LogicalClock().advance(-1.0)
+
+
+class TestSteeringService:
+    def test_register_and_post(self):
+        svc = SteeringService("sim1")
+        svc.register_component("a")
+        svc.register_component("b")
+        svc.post(SteeringMessage(MessageType.STATUS, "a", "b"))
+        msgs = svc.collect("b")
+        assert len(msgs) == 1
+        assert svc.delivered == 1
+
+    def test_duplicate_component(self):
+        svc = SteeringService("s")
+        svc.register_component("a")
+        with pytest.raises(SteeringError):
+            svc.register_component("a")
+
+    def test_unknown_recipient(self):
+        svc = SteeringService("s")
+        svc.register_component("a")
+        with pytest.raises(SteeringError):
+            svc.post(SteeringMessage(MessageType.STATUS, "a", "ghost"))
+
+    def test_delivery_respects_arrival_time(self):
+        svc = SteeringService("s")
+        svc.register_component("a")
+        svc.post(SteeringMessage(MessageType.STATUS, "x", "a"), arrival_time=5.0)
+        assert svc.collect("a") == []
+        assert svc.pending_count("a") == 1
+        svc.clock.advance(5.0)
+        assert len(svc.collect("a")) == 1
+
+    def test_ordering_by_arrival_then_seq(self):
+        svc = SteeringService("s")
+        svc.register_component("a")
+        m1 = SteeringMessage(MessageType.STATUS, "x", "a", payload={"i": 1})
+        m2 = SteeringMessage(MessageType.STATUS, "x", "a", payload={"i": 2})
+        svc.post(m2, arrival_time=0.0)
+        svc.post(m1, arrival_time=0.0)
+        got = svc.collect("a")
+        assert [m.seq for m in got] == sorted([m1.seq, m2.seq])
+
+
+class TestRegistry:
+    def test_publish_lookup(self):
+        reg = Registry()
+        svc = SteeringService("sim1")
+        reg.publish(svc)
+        assert reg.lookup("sim1") is svc
+        assert reg.list_services() == ["sim1"]
+
+    def test_duplicate_publish(self):
+        reg = Registry()
+        reg.publish(SteeringService("sim1"))
+        with pytest.raises(SteeringError):
+            reg.publish(SteeringService("sim1"))
+
+    def test_withdraw(self):
+        reg = Registry()
+        reg.publish(SteeringService("sim1"))
+        reg.withdraw("sim1")
+        with pytest.raises(SteeringError):
+            reg.lookup("sim1")
+        with pytest.raises(SteeringError):
+            reg.withdraw("sim1")
+
+
+class TestServiceConnection:
+    def test_instant_delivery_without_channel(self):
+        svc = SteeringService("s")
+        a = ServiceConnection(svc, "a")
+        b = ServiceConnection(svc, "b")
+        a.send(SteeringMessage(MessageType.STATUS, "a", "b"))
+        assert len(b.receive()) == 1
+
+    def test_channel_adds_delay(self):
+        svc = SteeringService("s")
+        a = ServiceConnection(svc, "a", channel=ReliableChannel(LIGHTPATH, seed=1))
+        b = ServiceConnection(svc, "b")
+        arrival = a.send(SteeringMessage(MessageType.STATUS, "a", "b"))
+        assert arrival >= 0.030  # at least one-way lightpath latency
+        assert b.receive() == []  # not yet arrived
+        svc.clock.advance(arrival + 0.001)
+        assert len(b.receive()) == 1
+
+    def test_message_timestamped(self):
+        svc = SteeringService("s")
+        svc.clock.advance(3.0)
+        a = ServiceConnection(svc, "a")
+        ServiceConnection(svc, "b")
+        m = SteeringMessage(MessageType.STATUS, "a", "b")
+        a.send(m)
+        assert m.timestamp == 3.0

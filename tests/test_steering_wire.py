@@ -1,0 +1,69 @@
+"""Tests for the JSON wire format of steering messages."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SteeringError
+from repro.steering import ControlAction, MessageType, SteeringMessage
+
+
+class TestWireFormat:
+    def test_roundtrip_simple(self):
+        msg = SteeringMessage.param_set("steerer", "sim", "temperature", 310.0)
+        back = SteeringMessage.from_wire(msg.to_wire())
+        assert back.msg_type is MessageType.PARAM_SET
+        assert back.sender == "steerer"
+        assert back.payload == {"name": "temperature", "value": 310.0}
+        assert back.seq == msg.seq
+
+    def test_roundtrip_control_enum(self):
+        msg = SteeringMessage.control("s", "sim", ControlAction.CHECKPOINT,
+                                      label="pre-pull")
+        back = SteeringMessage.from_wire(msg.to_wire())
+        assert back.payload["action"] is ControlAction.CHECKPOINT
+        assert back.payload["label"] == "pre-pull"
+
+    def test_roundtrip_ndarray(self):
+        msg = SteeringMessage.steer_force("viz", "sim",
+                                          np.array([0, 2, 5]),
+                                          np.array([0.0, 0.0, 3.5]))
+        back = SteeringMessage.from_wire(msg.to_wire())
+        np.testing.assert_array_equal(back.payload["indices"], [0, 2, 5])
+        np.testing.assert_array_equal(back.payload["force"], [0.0, 0.0, 3.5])
+        assert back.payload["force"].dtype == np.float64
+
+    def test_reply_links_after_roundtrip(self):
+        req = SteeringMessage.param_get("steerer", "sim")
+        back = SteeringMessage.from_wire(req.to_wire())
+        ack = back.ack("sim", ok=True)
+        assert ack.reply_to == req.seq
+
+    def test_nested_payload(self):
+        msg = SteeringMessage(MessageType.DATA_SAMPLE, "sim", "viz",
+                              payload={"values": {"pe": -12.5, "t": [1, 2]}})
+        back = SteeringMessage.from_wire(msg.to_wire())
+        assert back.payload["values"]["pe"] == -12.5
+        assert back.payload["values"]["t"] == [1, 2]
+
+    def test_numpy_scalars_become_plain(self):
+        msg = SteeringMessage(MessageType.STATUS, "a", "b",
+                              payload={"x": np.float64(1.5), "n": np.int64(3)})
+        back = SteeringMessage.from_wire(msg.to_wire())
+        assert back.payload == {"x": 1.5, "n": 3}
+
+    def test_unserializable_payload_rejected(self):
+        msg = SteeringMessage(MessageType.STATUS, "a", "b",
+                              payload={"obj": object()})
+        with pytest.raises(SteeringError):
+            msg.to_wire()
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(SteeringError):
+            SteeringMessage.from_wire("{not json")
+
+    def test_unknown_enum_rejected(self):
+        wire = ('{"msg_type": "status", "sender": "a", "recipient": "b", '
+                '"payload": {"x": {"__enum__": "Bogus", "value": 1}}, '
+                '"reply_to": null, "timestamp": 0.0, "seq": 1}')
+        with pytest.raises(SteeringError):
+            SteeringMessage.from_wire(wire)

@@ -1,0 +1,78 @@
+"""Unit-system and constant tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_kb_value(self):
+        assert units.KB == pytest.approx(0.0019872, rel=1e-4)
+
+    def test_kT_room_temperature(self):
+        # ~0.596 kcal/mol at 300 K.
+        assert units.kT(300.0) == pytest.approx(0.5962, rel=1e-3)
+
+    def test_beta_inverse_of_kT(self):
+        assert units.beta(300.0) * units.kT(300.0) == pytest.approx(1.0)
+
+    def test_kT_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.kT(0.0)
+        with pytest.raises(ValueError):
+            units.kT(-10.0)
+
+
+class TestSpringConstantConversion:
+    def test_100_pn_per_angstrom(self):
+        # 100 pN/A = 1.4393 kcal/mol/A^2 (the paper's tradeoff value).
+        assert units.pn_per_angstrom(100.0) == pytest.approx(1.4393, rel=1e-3)
+
+    def test_roundtrip(self):
+        for k in (10.0, 100.0, 1000.0):
+            internal = units.pn_per_angstrom(k)
+            assert units.kcal_per_angstrom2_to_pn_per_angstrom(internal) == pytest.approx(k)
+
+    def test_zero_allowed_negative_rejected(self):
+        assert units.pn_per_angstrom(0.0) == 0.0
+        with pytest.raises(ValueError):
+            units.pn_per_angstrom(-1.0)
+
+    def test_pn_angstrom_work_unit(self):
+        # 1 pN*A ~= 0.0144 kcal/mol, i.e. ~69.5 pN*A per kcal/mol.
+        assert 1.0 / units.PN_ANGSTROM_TO_KCAL == pytest.approx(69.48, rel=1e-3)
+
+
+class TestMassConversion:
+    def test_kinetic_energy_scale(self):
+        # A 12 amu particle at 1000 A/ns carries ~0.0000239*... check via
+        # thermal velocity instead: 0.5 m v_th^2 == 0.5 kT.
+        m = 12.0
+        v_th = units.thermal_velocity(m, 300.0)
+        ke = 0.5 * m * units.MASS_TO_KCAL * v_th**2
+        assert ke == pytest.approx(0.5 * units.kT(300.0), rel=1e-12)
+
+    def test_thermal_velocity_magnitude(self):
+        # Carbon-mass bead at 300 K: a few thousand A/ns (hundreds m/s).
+        v = units.thermal_velocity(12.0)
+        assert 2000.0 < v < 10000.0
+
+    def test_thermal_velocity_mass_scaling(self):
+        assert units.thermal_velocity(4.0) == pytest.approx(
+            2.0 * units.thermal_velocity(16.0)
+        )
+
+    def test_thermal_velocity_rejects_bad_mass(self):
+        with pytest.raises(ValueError):
+            units.thermal_velocity(0.0)
+
+
+class TestTimestep:
+    def test_femtoseconds(self):
+        assert units.timestep_fs(2.0) == pytest.approx(2.0e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.timestep_fs(0.0)

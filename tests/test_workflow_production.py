@@ -1,0 +1,62 @@
+"""Tests for the full-axis PMF production sweep."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pore import AxialLandscape, ReducedTranslocationModel
+from repro.workflow import run_full_axis_production
+
+
+class TestFullAxisProduction:
+    def test_windows_cover_range(self):
+        res = run_full_axis_production(axis_range=(-20.0, 20.0), window=10.0,
+                                       n_samples=8, seed=1)
+        assert res.n_windows == 4
+        assert res.z[0] == pytest.approx(-20.0)
+        assert res.z[-1] == pytest.approx(20.0)
+        assert np.all(np.diff(res.z) > 0)
+
+    def test_tracks_reference_within_few_percent(self):
+        res = run_full_axis_production(axis_range=(-30.0, 30.0),
+                                       n_samples=16, seed=2)
+        drop = abs(res.reference[-1] - res.reference[0])
+        assert res.rms_error < 0.05 * drop
+
+    def test_exact_on_linear_potential(self):
+        model = ReducedTranslocationModel(AxialLandscape([], tilt=-3.0),
+                                          friction=0.004)
+        res = run_full_axis_production(model=model, axis_range=(0.0, 20.0),
+                                       n_samples=24, seed=3)
+        np.testing.assert_allclose(res.pmf, -3.0 * (res.z - res.z[0]),
+                                   atol=1.5)
+
+    def test_barrier_height_detects_structure(self):
+        flat = ReducedTranslocationModel(AxialLandscape([], tilt=-3.0),
+                                         friction=0.004)
+        res_flat = run_full_axis_production(model=flat,
+                                            axis_range=(0.0, 20.0),
+                                            n_samples=16, seed=4)
+        bump = ReducedTranslocationModel(
+            AxialLandscape([(6.0, 10.0, 1.5)], tilt=-3.0), friction=0.004)
+        res_bump = run_full_axis_production(model=bump,
+                                            axis_range=(0.0, 20.0),
+                                            n_samples=16, seed=5)
+        assert res_bump.barrier_height() > res_flat.barrier_height() + 3.0
+
+    def test_cpu_accounting_sums_windows(self):
+        res = run_full_axis_production(axis_range=(-10.0, 10.0),
+                                       n_samples=8, seed=6)
+        assert res.total_cpu_hours == pytest.approx(
+            sum(e.cpu_hours for e in res.ensembles))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_full_axis_production(axis_range=(10.0, -10.0))
+
+    def test_deterministic(self):
+        a = run_full_axis_production(axis_range=(-10.0, 0.0), n_samples=6,
+                                     seed=7)
+        b = run_full_axis_production(axis_range=(-10.0, 0.0), n_samples=6,
+                                     seed=7)
+        np.testing.assert_array_equal(a.pmf, b.pmf)
