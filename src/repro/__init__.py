@@ -25,6 +25,9 @@ Subpackages
     Interactive molecular dynamics sessions and haptic user models.
 ``repro.workflow``
     The SPICE three-phase campaign orchestration.
+``repro.obs``
+    Observability: metrics, tracing, exporters and run reports, threaded
+    through every subsystem via an explicit ``obs=`` handle.
 ``repro.analysis``
     Series/table/ASCII-plot emitters for every paper figure.
 """

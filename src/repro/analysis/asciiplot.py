@@ -6,12 +6,11 @@ one canvas, each drawn with its own glyph, with axis ranges annotated.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import AnalysisError
-from .series import Curve, FigureData
+from .series import FigureData
 
 __all__ = ["render_figure"]
 

@@ -8,7 +8,7 @@ outputs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

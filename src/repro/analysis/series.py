@@ -7,7 +7,7 @@ tables), rendered to aligned text and CSV — no plotting dependencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

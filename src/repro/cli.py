@@ -6,83 +6,94 @@ Thin wrappers over the library for the common entry points:
 * ``pmf`` — one SMD-JE PMF at chosen (kappa, v);
 * ``fig4`` — the full parameter study with panels and the optimum;
 * ``campaign`` — the three-phase SPICE campaign on the federation;
+* ``report`` — instrumented campaign rendered as a run report;
 * ``qos`` — the IMD network-QoS table;
-* ``ti`` — thermodynamic-integration PMF over the window.
+* ``ti`` — thermodynamic-integration PMF over the window;
+* ``production`` — the stitched full-axis PMF.
 
-Every command takes ``--seed`` and prints plain text (ASCII figures and
-aligned tables), so output is diffable and scriptable.
+Commands are rows of a declarative table (:data:`COMMANDS`); each row
+names its flags and a runner returning ``(text, summary)``.  Two global
+flags are attached to every subcommand by the table machinery:
+
+* ``--seed`` — base RNG seed (per-command defaults preserved);
+* ``--json`` — print the command's machine-readable summary (routed
+  through the :mod:`repro.obs` exporters) instead of the plain text.
+
+Exit codes are uniform: 0 on success, 1 for any :class:`~repro.errors.
+ReproError`, 2 for a usage error (argparse).  Without ``--json`` every
+command prints plain text (ASCII figures and aligned tables), so output
+is diffable and scriptable.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CommandSpec", "COMMANDS"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="SPICE reproduction: SMD-JE free energies on a "
-                    "simulated federated grid",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+@dataclass(frozen=True)
+class CommandResult:
+    """What a runner produces: human text plus a machine summary."""
 
-    p = sub.add_parser("structure", help="Fig. 1 structural summary")
-    p.add_argument("--bases", type=int, default=12)
-    p.add_argument("--seed", type=int, default=7)
-
-    p = sub.add_parser("pmf", help="one SMD-JE PMF estimate")
-    p.add_argument("--kappa", type=float, default=100.0,
-                   help="spring constant in pN/A")
-    p.add_argument("--velocity", type=float, default=12.5,
-                   help="pulling velocity in A/ns")
-    p.add_argument("--samples", type=int, default=48)
-    p.add_argument("--seed", type=int, default=2005)
-
-    p = sub.add_parser("fig4", help="the full (kappa, v) parameter study")
-    p.add_argument("--samples", type=int, default=48)
-    p.add_argument("--seed", type=int, default=2005)
-
-    p = sub.add_parser("campaign", help="three-phase SPICE campaign")
-    p.add_argument("--replicas", type=int, default=6)
-    p.add_argument("--seed", type=int, default=2005)
-
-    p = sub.add_parser("qos", help="IMD interactivity vs network QoS")
-    p.add_argument("--frames", type=int, default=80)
-    p.add_argument("--seed", type=int, default=3)
-
-    p = sub.add_parser("ti", help="thermodynamic-integration PMF")
-    p.add_argument("--replicas", type=int, default=16)
-    p.add_argument("--stations", type=int, default=21)
-    p.add_argument("--seed", type=int, default=11)
-
-    p = sub.add_parser("production",
-                       help="full-axis PMF from stitched sub-trajectories")
-    p.add_argument("--samples", type=int, default=24)
-    p.add_argument("--z-min", type=float, default=-30.0)
-    p.add_argument("--z-max", type=float, default=30.0)
-    p.add_argument("--seed", type=int, default=2005)
-
-    return parser
+    text: str
+    summary: dict
 
 
-def cmd_structure(args) -> int:
+@dataclass(frozen=True)
+class Arg:
+    """One argparse flag declaration: ``Arg(("--kappa",), {...})``."""
+
+    flags: Tuple[str, ...]
+    kwargs: dict
+
+
+def _arg(*flags: str, **kwargs) -> Arg:
+    return Arg(flags, kwargs)
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """A row of the subcommand table.
+
+    ``--seed`` (with ``seed_default``) and ``--json`` are appended to
+    every command automatically; runners therefore always see
+    ``args.seed`` and ``args.json``.
+    """
+
+    name: str
+    help: str
+    runner: Callable[[argparse.Namespace], CommandResult]
+    args: Tuple[Arg, ...] = ()
+    seed_default: int = 2005
+
+
+def cmd_structure(args) -> CommandResult:
     from .analysis import fig1_structure_table, render_cross_section
+    from .obs import jsonable
     from .pore import build_translocation_simulation
 
     ts = build_translocation_simulation(n_bases=args.bases, seed=args.seed)
-    print(fig1_structure_table(ts.pore.describe()).formatted())
-    print()
-    print(render_cross_section(ts.pore.geometry, ts.simulation.system.positions))
-    return 0
+    description = ts.pore.describe()
+    lines = [
+        fig1_structure_table(description).formatted(),
+        "",
+        render_cross_section(ts.pore.geometry, ts.simulation.system.positions),
+    ]
+    return CommandResult("\n".join(lines), {
+        "command": "structure",
+        "seed": args.seed,
+        "n_bases": args.bases,
+        "pore": jsonable(description),
+    })
 
 
-def cmd_pmf(args) -> int:
+def cmd_pmf(args) -> CommandResult:
     from .analysis import Curve, FigureData, render_figure
     from .core import estimate_pmf
     from .pore import ReducedTranslocationModel, default_reduced_potential
@@ -99,13 +110,24 @@ def cmd_pmf(args) -> int:
                      "displacement (A)", "Phi (kcal/mol)")
     fig.add(Curve("estimate", est.displacements, est.values))
     fig.add(Curve("exact", est.displacements, ref))
-    print(render_figure(fig))
-    print(f"\nmax |error|: {np.abs(est.values - ref).max():.2f} kcal/mol   "
-          f"cost (paper scale): {ens.cpu_hours:.0f} CPU-h")
-    return 0
+    max_err = float(np.abs(est.values - ref).max())
+    lines = [
+        render_figure(fig),
+        f"\nmax |error|: {max_err:.2f} kcal/mol   "
+        f"cost (paper scale): {ens.cpu_hours:.0f} CPU-h",
+    ]
+    return CommandResult("\n".join(lines), {
+        "command": "pmf",
+        "seed": args.seed,
+        "kappa_pn": args.kappa,
+        "velocity": args.velocity,
+        "n_samples": args.samples,
+        "max_abs_error_kcal_mol": max_err,
+        "cpu_hours": ens.cpu_hours,
+    })
 
 
-def cmd_fig4(args) -> int:
+def cmd_fig4(args) -> CommandResult:
     from .analysis import fig4_error_table
     from .core import run_parameter_study
     from .pore import ReducedTranslocationModel, default_reduced_potential
@@ -115,30 +137,64 @@ def cmd_fig4(args) -> int:
     study = run_parameter_study(
         model, protocols=parameter_grid(distance=10.0, start_z=-5.0),
         n_samples=args.samples, seed=args.seed)
-    print(fig4_error_table(study).formatted())
     k, v = study.optimal
-    print(f"\noptimal: kappa = {k:g} pN/A, v = {v:g} A/ns "
-          f"(paper: 100 pN/A, 12.5 A/ns)")
-    return 0
+    lines = [
+        fig4_error_table(study).formatted(),
+        f"\noptimal: kappa = {k:g} pN/A, v = {v:g} A/ns "
+        f"(paper: 100 pN/A, 12.5 A/ns)",
+    ]
+    return CommandResult("\n".join(lines), {
+        "command": "fig4",
+        "seed": args.seed,
+        "n_samples": args.samples,
+        "n_cells": len(study.estimates),
+        "optimal_kappa_pn": k,
+        "optimal_velocity": v,
+    })
 
 
-def cmd_campaign(args) -> int:
+def _run_instrumented_campaign(args):
+    """Shared by ``campaign`` and ``report``: run the three-phase campaign
+    under a fresh obs handle and assemble its run report.
+
+    Instrumentation is read-only (no RNG draws, no scheduled events), so
+    the result is bit-identical to an uninstrumented run with the same
+    seed.
+    """
+    from .obs import Obs, campaign_run_report
     from .workflow import SpiceCampaign
 
+    obs = Obs()
     result = SpiceCampaign(replicas_per_cell=args.replicas,
-                           seed=args.seed).run()
+                           seed=args.seed, obs=obs).run()
+    report = campaign_run_report(result, obs, command=args.command,
+                                 seed=args.seed)
+    return result, report
+
+
+def cmd_campaign(args) -> CommandResult:
+    result, report = _run_instrumented_campaign(args)
     s = result.summary()
-    print(f"window:        {s['window'][0]:.1f} .. {s['window'][1]:.1f} A")
-    print(f"kappas probed: {s['kappa_candidates']} pN/A")
-    print(f"batch:         {s['n_jobs']} jobs, {s['campaign_cpu_hours']:.0f} "
-          f"CPU-h, {s['campaign_days']:.2f} days")
-    print(f"placement:     {result.batch.campaign.per_resource_jobs}")
-    print(f"optimal:       kappa = {s['optimal_kappa_pn']:g} pN/A, "
-          f"v = {s['optimal_velocity']:g} A/ns")
-    return 0
+    lines = [
+        f"window:        {s['window'][0]:.1f} .. {s['window'][1]:.1f} A",
+        f"kappas probed: {s['kappa_candidates']} pN/A",
+        f"batch:         {s['n_jobs']} jobs, {s['campaign_cpu_hours']:.0f} "
+        f"CPU-h, {s['campaign_days']:.2f} days",
+        f"placement:     {result.batch.campaign.per_resource_jobs}",
+        f"optimal:       kappa = {s['optimal_kappa_pn']:g} pN/A, "
+        f"v = {s['optimal_velocity']:g} A/ns",
+    ]
+    return CommandResult("\n".join(lines), report)
 
 
-def cmd_qos(args) -> int:
+def cmd_report(args) -> CommandResult:
+    from .obs import render_run_report
+
+    _, report = _run_instrumented_campaign(args)
+    return CommandResult(render_run_report(report), report)
+
+
+def cmd_qos(args) -> CommandResult:
     from .analysis import qos_table
     from .imd import HapticDevice, IMDSession, ScriptedUser
     from .md import SteeringForce
@@ -158,11 +214,24 @@ def cmd_qos(args) -> int:
         session = IMDSession(ts.simulation, sf, ts.dna_indices, qos,
                              user=user, steps_per_frame=50, seed=args.seed)
         reports[label] = session.run(args.frames)
-    print(qos_table(reports).formatted())
-    return 0
+    summary = {
+        "command": "qos",
+        "seed": args.seed,
+        "n_frames": args.frames,
+        "networks": {
+            label: {
+                "wall_time_s": rep.wall_time,
+                "compute_time_s": rep.compute_time,
+                "stall_time_s": rep.stall_time,
+                "slowdown": rep.slowdown,
+            }
+            for label, rep in reports.items()
+        },
+    }
+    return CommandResult(qos_table(reports).formatted(), summary)
 
 
-def cmd_ti(args) -> int:
+def cmd_ti(args) -> CommandResult:
     from .analysis import Curve, FigureData, render_figure
     from .core import TIProtocol, run_thermodynamic_integration
     from .pore import ReducedTranslocationModel, default_reduced_potential
@@ -177,13 +246,23 @@ def cmd_ti(args) -> int:
                      "displacement (A)", "Phi (kcal/mol)")
     fig.add(Curve("TI", res.pmf.displacements, res.pmf.values))
     fig.add(Curve("exact", res.pmf.displacements, ref))
-    print(render_figure(fig))
-    print(f"\nrms error: {np.sqrt(np.mean((res.pmf.values - ref) ** 2)):.2f} "
-          f"kcal/mol   cost (paper scale): {res.cpu_hours:.0f} CPU-h")
-    return 0
+    rms = float(np.sqrt(np.mean((res.pmf.values - ref) ** 2)))
+    lines = [
+        render_figure(fig),
+        f"\nrms error: {rms:.2f} "
+        f"kcal/mol   cost (paper scale): {res.cpu_hours:.0f} CPU-h",
+    ]
+    return CommandResult("\n".join(lines), {
+        "command": "ti",
+        "seed": args.seed,
+        "n_replicas": args.replicas,
+        "n_stations": args.stations,
+        "rms_error_kcal_mol": rms,
+        "cpu_hours": res.cpu_hours,
+    })
 
 
-def cmd_production(args) -> int:
+def cmd_production(args) -> CommandResult:
     from .analysis import Curve, FigureData, render_figure
     from .workflow import run_full_axis_production
 
@@ -193,29 +272,117 @@ def cmd_production(args) -> int:
                      "z (A)", "Phi (kcal/mol)")
     fig.add(Curve("SMD-JE", res.z, res.pmf))
     fig.add(Curve("exact", res.z, res.reference))
-    print(render_figure(fig, height=16))
     drop = abs(res.reference[-1] - res.reference[0])
-    print(f"\n{res.n_windows} windows; rms error {res.rms_error:.1f} kcal/mol "
-          f"({100 * res.rms_error / drop:.1f}% of drop); "
-          f"constriction barrier {res.barrier_height():.1f} kcal/mol; "
-          f"cost {res.total_cpu_hours:.0f} CPU-h (paper scale)")
-    return 0
+    lines = [
+        render_figure(fig, height=16),
+        f"\n{res.n_windows} windows; rms error {res.rms_error:.1f} kcal/mol "
+        f"({100 * res.rms_error / drop:.1f}% of drop); "
+        f"constriction barrier {res.barrier_height():.1f} kcal/mol; "
+        f"cost {res.total_cpu_hours:.0f} CPU-h (paper scale)",
+    ]
+    return CommandResult("\n".join(lines), {
+        "command": "production",
+        "seed": args.seed,
+        "n_samples": args.samples,
+        "axis_range": [args.z_min, args.z_max],
+        "n_windows": res.n_windows,
+        "rms_error_kcal_mol": res.rms_error,
+        "barrier_height_kcal_mol": res.barrier_height(),
+        "cpu_hours": res.total_cpu_hours,
+    })
 
 
-_COMMANDS = {
-    "structure": cmd_structure,
-    "pmf": cmd_pmf,
-    "fig4": cmd_fig4,
-    "campaign": cmd_campaign,
-    "qos": cmd_qos,
-    "ti": cmd_ti,
-    "production": cmd_production,
+COMMANDS: Dict[str, CommandSpec] = {
+    spec.name: spec
+    for spec in [
+        CommandSpec(
+            "structure", "Fig. 1 structural summary", cmd_structure,
+            args=(_arg("--bases", type=int, default=12),),
+            seed_default=7,
+        ),
+        CommandSpec(
+            "pmf", "one SMD-JE PMF estimate", cmd_pmf,
+            args=(
+                _arg("--kappa", type=float, default=100.0,
+                     help="spring constant in pN/A"),
+                _arg("--velocity", type=float, default=12.5,
+                     help="pulling velocity in A/ns"),
+                _arg("--samples", type=int, default=48),
+            ),
+        ),
+        CommandSpec(
+            "fig4", "the full (kappa, v) parameter study", cmd_fig4,
+            args=(_arg("--samples", type=int, default=48),),
+        ),
+        CommandSpec(
+            "campaign", "three-phase SPICE campaign", cmd_campaign,
+            args=(_arg("--replicas", type=int, default=6),),
+        ),
+        CommandSpec(
+            "report", "instrumented campaign rendered as a run report",
+            cmd_report,
+            args=(_arg("--replicas", type=int, default=6),),
+        ),
+        CommandSpec(
+            "qos", "IMD interactivity vs network QoS", cmd_qos,
+            args=(_arg("--frames", type=int, default=80),),
+            seed_default=3,
+        ),
+        CommandSpec(
+            "ti", "thermodynamic-integration PMF", cmd_ti,
+            args=(
+                _arg("--replicas", type=int, default=16),
+                _arg("--stations", type=int, default=21),
+            ),
+            seed_default=11,
+        ),
+        CommandSpec(
+            "production", "full-axis PMF from stitched sub-trajectories",
+            cmd_production,
+            args=(
+                _arg("--samples", type=int, default=24),
+                _arg("--z-min", type=float, default=-30.0),
+                _arg("--z-max", type=float, default=30.0),
+            ),
+        ),
+    ]
 }
 
 
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPICE reproduction: SMD-JE free energies on a "
+                    "simulated federated grid",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for spec in COMMANDS.values():
+        p = sub.add_parser(spec.name, help=spec.help)
+        for a in spec.args:
+            p.add_argument(*a.flags, **a.kwargs)
+        p.add_argument("--seed", type=int, default=spec.seed_default,
+                       help="base RNG seed")
+        p.add_argument("--json", action="store_true",
+                       help="print the machine-readable summary as JSON")
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .errors import ReproError
+    from .obs import render_json
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    spec = COMMANDS[args.command]
+    try:
+        result = spec.runner(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(render_json(result.summary))
+    else:
+        print(result.text)
+    return 0
 
 
 if __name__ == "__main__":

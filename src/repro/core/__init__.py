@@ -8,6 +8,11 @@ from .jarzynski import (
     block_estimator,
     jarzynski_bias_estimate,
 )
+from .estimators import (
+    available_estimators,
+    estimate_free_energy,
+    register_estimator,
+)
 from .pmf import PMFEstimate, estimate_pmf, stiff_spring_correction
 from .error_analysis import (
     bootstrap_statistical_error,
@@ -33,6 +38,9 @@ __all__ = [
     "cumulant_estimator",
     "block_estimator",
     "jarzynski_bias_estimate",
+    "available_estimators",
+    "estimate_free_energy",
+    "register_estimator",
     "PMFEstimate",
     "estimate_pmf",
     "stiff_spring_correction",

@@ -18,7 +18,7 @@ Section IV of the paper rests on two error measures per (kappa, v) cell:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 

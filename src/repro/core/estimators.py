@@ -1,0 +1,103 @@
+"""Unified free-energy estimator API: one entry point, a small registry.
+
+Historically each Jarzynski estimator was its own function
+(:func:`~repro.core.jarzynski.exponential_estimator`,
+:func:`~repro.core.jarzynski.cumulant_estimator`,
+:func:`~repro.core.jarzynski.block_estimator`); those remain the canonical
+implementations and keep working unchanged.  This module adds the
+dispatching front door the rest of the system (and future estimators —
+Bennett acceptance ratio, MBAR, bidirectional) should go through:
+
+>>> from repro.core import estimate_free_energy
+>>> estimate_free_energy(works, temperature=300.0, method="exponential")
+
+``method`` selects from a registry; extra keyword arguments pass straight
+through to the implementation (e.g. ``n_blocks=8`` for ``"block"``).
+Dispatch adds nothing numerically: results are bit-for-bit identical to
+calling the underlying function directly.
+
+Third parties register their own estimators with
+:func:`register_estimator`, which also makes them reachable from any API
+that takes an ``estimator=`` name string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import AnalysisError, ConfigurationError
+from .jarzynski import block_estimator, cumulant_estimator, exponential_estimator
+
+__all__ = [
+    "estimate_free_energy",
+    "register_estimator",
+    "available_estimators",
+]
+
+#: method name -> estimator callable ``(works, temperature, **kw)``.
+_REGISTRY: Dict[str, Callable[..., np.ndarray]] = {}
+
+
+def register_estimator(name: str, fn: Callable[..., np.ndarray] = None):
+    """Register ``fn`` under ``name``; usable directly or as a decorator.
+
+    Re-registering an existing name raises
+    :class:`~repro.errors.ConfigurationError` — shadowing a built-in
+    estimator silently would poison every call site that names it.
+    """
+
+    def _register(func: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"estimator {name!r} already registered")
+        if not callable(func):
+            raise ConfigurationError(f"estimator {name!r} must be callable")
+        _REGISTRY[name] = func
+        return func
+
+    if fn is None:
+        return _register
+    return _register(fn)
+
+
+def available_estimators() -> tuple:
+    """Registered method names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def estimate_free_energy(works: np.ndarray, temperature: float,
+                         method: str = "exponential", **kwargs):
+    """Estimate free energies from a work ensemble by named method.
+
+    Parameters
+    ----------
+    works:
+        ``(m,)`` or ``(m, g)`` work array (replicas x displacements), as
+        accepted by every registered estimator.
+    temperature:
+        Ensemble temperature in Kelvin.
+    method:
+        Registry key: ``"exponential"`` (direct JE), ``"cumulant"``
+        (second-order expansion), ``"block"`` (per-block exponential;
+        returns ``(mean, spread)``), or any name added via
+        :func:`register_estimator`.
+    kwargs:
+        Passed through to the implementation unchanged.
+
+    Returns whatever the underlying estimator returns — bit-for-bit the
+    same as calling it directly.
+    """
+    try:
+        fn = _REGISTRY[method]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown estimator {method!r}; available: "
+            f"{', '.join(available_estimators())}"
+        ) from None
+    return fn(works, temperature, **kwargs)
+
+
+register_estimator("exponential", exponential_estimator)
+register_estimator("cumulant", cumulant_estimator)
+register_estimator("block", block_estimator)

@@ -26,7 +26,6 @@ recorded displacements) using log-sum-exp for numerical safety — raw
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 from scipy.special import logsumexp

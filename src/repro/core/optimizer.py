@@ -11,14 +11,15 @@ equal accuracy (the slowest *adequate* velocity at the tradeoff kappa).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import AnalysisError, ConfigurationError
+from ..obs import Obs
 from ..pore.reduced import ReducedTranslocationModel
-from ..rng import SeedLike, as_generator, stream_for
+from ..rng import stream_for
 from ..smd.ensemble import run_pulling_ensemble
 from ..smd.protocol import PullingProtocol, parameter_grid
 from ..smd.work import WorkEnsemble
@@ -71,12 +72,14 @@ def run_parameter_study(
     estimator: str = "exponential",
     seed: int = 2005,
     consistency_tolerance: float = 2.0,
+    obs: Optional[Obs] = None,
 ) -> ParameterStudyResult:
     """Run the full (kappa, v) grid study on the reduced model.
 
     Every cell runs ``n_samples`` pulls with its own deterministic RNG
     stream (keyed by the cell parameters, so adding cells never perturbs
     existing ones).  The reference PMF is the model's exact potential.
+    ``obs`` is forwarded to every pulling ensemble (see :mod:`repro.obs`).
 
     ``consistency_tolerance`` (kcal/mol) is the "insignificant difference"
     threshold used by the velocity tie-break (Section IV-C).
@@ -101,7 +104,8 @@ def run_parameter_study(
         key = (proto.kappa_pn, proto.velocity)
         cell_rng = stream_for(seed, "cell", int(proto.kappa_pn * 1000), int(proto.velocity * 1000))
         ens = run_pulling_ensemble(
-            model, proto, n_samples=n_samples, n_records=n_records, seed=cell_rng
+            model, proto, n_samples=n_samples, n_records=n_records,
+            seed=cell_rng, obs=obs,
         )
         ensembles[key] = ens
         estimates[key] = estimate_pmf(ens, estimator=estimator)

@@ -9,22 +9,15 @@ analysis and plotting layers need nothing else.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import AnalysisError, ConfigurationError
 from ..smd.work import WorkEnsemble
-from ..units import KB
-from .jarzynski import cumulant_estimator, exponential_estimator
+from .estimators import available_estimators, estimate_free_energy
 
 __all__ = ["PMFEstimate", "estimate_pmf", "stiff_spring_correction"]
-
-_ESTIMATORS = {
-    "exponential": exponential_estimator,
-    "cumulant": cumulant_estimator,
-}
 
 
 @dataclass
@@ -91,19 +84,29 @@ def estimate_pmf(
     Parameters
     ----------
     estimator:
-        ``"exponential"`` (direct Jarzynski) or ``"cumulant"`` (2nd order).
+        Any name in the estimator registry (see
+        :func:`~repro.core.estimators.estimate_free_energy`):
+        ``"exponential"`` (direct Jarzynski), ``"cumulant"`` (2nd order),
+        ``"block"``, or a name added via
+        :func:`~repro.core.estimators.register_estimator`.
     stiff_spring:
         Apply the second-order stiff-spring deconvolution
         (:func:`stiff_spring_correction`) to recover the unbiased surface
         from the trap-coordinate free energy.
     """
-    try:
-        fn = _ESTIMATORS[estimator]
-    except KeyError:
+    if estimator not in available_estimators():
         raise ConfigurationError(
-            f"unknown estimator {estimator!r}; choose from {sorted(_ESTIMATORS)}"
-        ) from None
-    values = fn(ensemble.works, ensemble.temperature)
+            f"unknown estimator {estimator!r}; "
+            f"choose from {sorted(available_estimators())}"
+        )
+    values = estimate_free_energy(
+        ensemble.works, ensemble.temperature, method=estimator
+    )
+    if isinstance(values, tuple):
+        # Estimators like "block" return (mean, spread); the PMF curve is
+        # the mean component.
+        values = values[0]
+    values = np.asarray(values, dtype=float)
     values = values - values[0]
     if stiff_spring:
         values = stiff_spring_correction(

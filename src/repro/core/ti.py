@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..pore.reduced import ReducedTranslocationModel
-from ..rng import SeedLike, as_generator, stream_for
+from ..rng import SeedLike, as_generator
 from ..smd.ensemble import PAPER_CPU_HOURS_PER_NS
 from ..units import pn_per_angstrom
 from .pmf import PMFEstimate

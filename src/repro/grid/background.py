@@ -14,7 +14,7 @@ paper's "just under a week".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

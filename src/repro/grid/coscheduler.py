@@ -16,10 +16,9 @@ UKLight deployment).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-import numpy as np
 
 from ..errors import ConfigurationError, CoSchedulingError
 from ..rng import SeedLike, as_generator

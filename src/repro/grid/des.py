@@ -10,22 +10,32 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import ConfigurationError, GridError
+from ..obs import Obs, SimClock, as_obs
 
 __all__ = ["EventLoop"]
 
 
 class EventLoop:
-    """Deterministic discrete-event loop (time unit: hours)."""
+    """Deterministic discrete-event loop (time unit: hours).
 
-    def __init__(self) -> None:
+    ``obs`` is the optional instrumentation handle (see :mod:`repro.obs`);
+    the loop counts processed events and exposes :attr:`clock`, a
+    :class:`~repro.obs.SimClock` other components can trace against so
+    their span timestamps are simulated hours — and therefore exactly
+    reproducible.
+    """
+
+    def __init__(self, obs: Optional[Obs] = None) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.now: float = 0.0
         self._running = False
         self.events_processed = 0
+        self._obs = as_obs(obs)
+        self.clock = SimClock(self)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` hours from now."""
@@ -62,6 +72,8 @@ class EventLoop:
                 callback()
                 processed += 1
                 self.events_processed += 1
+                if self._obs.enabled:
+                    self._obs.metrics.inc("des.events")
                 if processed > max_events:
                     raise GridError(f"event budget exceeded ({max_events})")
             else:
@@ -69,6 +81,8 @@ class EventLoop:
                     self.now = until
         finally:
             self._running = False
+        if self._obs.enabled:
+            self._obs.metrics.set_gauge("des.sim_time_hours", self.now)
         return self.now
 
     @property

@@ -14,8 +14,7 @@ campaign time-to-solution with and without redundant UK capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, as_generator

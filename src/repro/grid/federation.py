@@ -11,10 +11,11 @@ carries makespan, waits and utilization for the batch-phase benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
-from ..errors import ConfigurationError, SchedulingError
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
 from .des import EventLoop
 from .jobs import Job, JobState
 from .resources import ComputeResource
@@ -27,13 +28,13 @@ class Grid:
     """One administrative grid: named resources sharing an event loop."""
 
     def __init__(self, name: str, resources: Sequence[ComputeResource],
-                 loop: EventLoop) -> None:
+                 loop: EventLoop, obs: Optional[Obs] = None) -> None:
         if not resources:
             raise ConfigurationError(f"grid {name!r} needs at least one resource")
         self.name = name
         self.loop = loop
         self.queues: Dict[str, BatchQueue] = {
-            r.name: BatchQueue(r, loop) for r in resources
+            r.name: BatchQueue(r, loop, obs=obs) for r in resources
         }
 
     @property
@@ -113,7 +114,8 @@ class CampaignManager:
     killed by outages to the currently-best other queue.
     """
 
-    def __init__(self, federation: FederatedGrid, requeue_check_hours: float = 1.0) -> None:
+    def __init__(self, federation: FederatedGrid, requeue_check_hours: float = 1.0,
+                 obs: Optional[Obs] = None) -> None:
         if requeue_check_hours <= 0:
             raise ConfigurationError("requeue_check_hours must be positive")
         self.federation = federation
@@ -121,6 +123,7 @@ class CampaignManager:
         self.requeue_check_hours = float(requeue_check_hours)
         self.unplaced: List[Job] = []
         self._jobs: List[Job] = []
+        self._obs = as_obs(obs)
 
     # -- placement ------------------------------------------------------------
 
@@ -155,9 +158,13 @@ class CampaignManager:
         candidates = self.eligible_queues(job)
         if not candidates:
             self.unplaced.append(job)
+            if self._obs.enabled:
+                self._obs.metrics.inc("grid.unplaced")
             return None
         best = min(candidates, key=lambda q: (self.estimated_start(q, job), q.resource.name))
         best.submit(job)
+        if self._obs.enabled:
+            self._obs.metrics.inc("grid.placements")
         return best
 
     # -- execution --------------------------------------------------------------
@@ -165,10 +172,12 @@ class CampaignManager:
     def run(self, jobs: Sequence[Job], until: Optional[float] = None) -> CampaignReport:
         """Place all jobs, run the loop to completion, return the report."""
         self._jobs = list(jobs)
-        for job in self._jobs:
-            self.place(job)
-        self._schedule_requeue_check()
-        self.loop.run(until=until)
+        with self._obs.span("grid.campaign", clock=getattr(self.loop, "clock", None),
+                            jobs=len(self._jobs)):
+            for job in self._jobs:
+                self.place(job)
+            self._schedule_requeue_check()
+            self.loop.run(until=until)
         return self._report()
 
     def _schedule_requeue_check(self) -> None:
@@ -180,6 +189,8 @@ class CampaignManager:
                     job.reset_for_requeue()
                     self.place(job)
                     requeued_any = True
+                    if self._obs.enabled:
+                        self._obs.metrics.inc("grid.requeues")
                 # Jobs still waiting on a downed machine are migrated too —
                 # if a live alternative exists.  With no alternative they
                 # stay queued for weeks: the single-point-of-failure
@@ -201,6 +212,8 @@ class CampaignManager:
                         )
                         best.submit(job)
                         requeued_any = True
+                        if self._obs.enabled:
+                            self._obs.metrics.inc("grid.requeues")
             # Keep checking while work remains anywhere.
             if requeued_any or any(
                 q.waiting or q.running
@@ -221,6 +234,10 @@ class CampaignManager:
             name: q.utilization(horizon=makespan if makespan > 0 else None)
             for name, q in self.federation.all_queues().items()
         }
+        if self._obs.enabled:
+            for name, u in util.items():
+                self._obs.metrics.set_gauge(f"grid.utilization.{name}", u)
+            self._obs.metrics.set_gauge("grid.makespan_hours", makespan)
         return CampaignReport(
             makespan_hours=makespan,
             completed=completed,

@@ -17,11 +17,10 @@ ones).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError, GridError
-from .resources import ComputeResource
 
 __all__ = ["SiteStack", "Application", "GridEnabledApplication", "GridMiddleware"]
 

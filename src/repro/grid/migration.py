@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import ConfigurationError, NetworkError
+from ..errors import ConfigurationError
 from ..net.channel import ReliableChannel
 from ..net.qos import QoSSpec
 from ..rng import SeedLike

@@ -18,12 +18,11 @@ one human layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
-import numpy as np
 
-from ..errors import ConfigurationError, ReservationError
+from ..errors import ConfigurationError
 from ..rng import SeedLike, as_generator
 from .scheduler import BatchQueue, Reservation
 

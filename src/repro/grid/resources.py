@@ -15,8 +15,8 @@ on most UK resources").  Machine sizes are order-of-magnitude 2005 values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..errors import ConfigurationError
 

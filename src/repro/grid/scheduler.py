@@ -14,10 +14,11 @@ single-site campaigns slow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, SchedulingError
+from ..obs import Obs, as_obs
 from .des import EventLoop
 from .jobs import Job, JobState
 from .resources import ComputeResource
@@ -47,9 +48,11 @@ class Reservation:
 class BatchQueue:
     """Batch scheduler for one :class:`ComputeResource` on an event loop."""
 
-    def __init__(self, resource: ComputeResource, loop: EventLoop) -> None:
+    def __init__(self, resource: ComputeResource, loop: EventLoop,
+                 obs: Optional[Obs] = None) -> None:
         self.resource = resource
         self.loop = loop
+        self._obs = as_obs(obs)
         self.capacity = max(
             int(resource.total_procs * (1.0 - resource.background_load)), 1
         )
@@ -130,6 +133,8 @@ class BatchQueue:
         job.resource = self.resource.name
         job.submit_time = self.loop.now
         self.waiting.append(job)
+        if self._obs.enabled:
+            self._obs.metrics.inc(f"grid.submitted.{self.resource.name}")
         self._dispatch()
 
     def run_inside_reservation(self, job: Job, res: Reservation) -> None:
@@ -157,6 +162,11 @@ class BatchQueue:
         self.procs_in_use += job.procs
         self._trace()
         self.running[job.job_id] = (job, end)
+        if self._obs.enabled and job.submit_time is not None:
+            self._obs.metrics.observe(
+                f"grid.queue_wait_hours.{self.resource.name}",
+                self.loop.now - job.submit_time,
+            )
 
         def complete() -> None:
             if job.job_id not in self.running:
@@ -167,6 +177,9 @@ class BatchQueue:
             self.procs_in_use -= job.procs
             self._trace()
             self.completed.append(job)
+            if self._obs.enabled:
+                self._obs.metrics.inc(f"grid.completed.{self.resource.name}")
+                self._obs.metrics.inc("grid.cpu_hours", job.cpu_hours)
             self._dispatch()
 
         self.loop.schedule_at(end, complete)
@@ -227,6 +240,12 @@ class BatchQueue:
 
         def go_down() -> None:
             self.down = True
+            if self._obs.enabled:
+                self._obs.tracer.event(
+                    f"grid.outage.{self.resource.name}",
+                    clock=self.loop.clock, reason=reason,
+                    duration_hours=duration,
+                )
             for job, end in list(self.running.values()):
                 job.state = JobState.KILLED
                 if job.checkpointable and job.start_time is not None:
@@ -241,6 +260,8 @@ class BatchQueue:
                 job.end_time = self.loop.now
                 self.procs_in_use -= job.procs
                 self.killed.append(job)
+                if self._obs.enabled:
+                    self._obs.metrics.inc(f"grid.killed.{self.resource.name}")
             self.running.clear()
             self._trace()
 

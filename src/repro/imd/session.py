@@ -28,7 +28,6 @@ benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -38,8 +37,9 @@ from ..md.engine import Simulation
 from ..md.external import SteeringForce
 from ..net.channel import ReliableChannel
 from ..net.qos import QoSSpec
+from ..obs import Obs, as_obs
 from ..rng import SeedLike, as_generator, spawn
-from .haptic import HapticDevice, ScriptedUser
+from .haptic import ScriptedUser
 from .metrics import InteractivityReport
 
 __all__ = ["IMDSession"]
@@ -75,6 +75,16 @@ class IMDSession:
         beyond the newest control received.  The default of 2 models the
         tight coupling of haptic steering: latency physics (one frame in
         flight) is absorbed, jitter/loss spikes are not.
+    seed:
+        Any :data:`~repro.rng.SeedLike` — an int, a
+        :class:`numpy.random.Generator`, a ``SeedSequence`` or ``None`` —
+        normalized via :func:`repro.rng.as_generator` (the package-wide
+        seeding convention); both channels derive independent streams.
+    obs:
+        Optional instrumentation handle (see :mod:`repro.obs`).  Per-frame
+        stalls land in the ``imd.frame_stall_s`` histogram, cumulative
+        compute/stall time in ``imd.*_s`` counters, and both channels
+        report under ``net.*.imd.down`` / ``net.*.imd.up``.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class IMDSession:
         render_time_s: float = 0.02,
         window: int = 2,
         seed: SeedLike = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         if steps_per_frame <= 0 or seconds_per_step <= 0:
             raise ConfigurationError("steps_per_frame and seconds_per_step must be positive")
@@ -101,10 +112,12 @@ class IMDSession:
         self.simulation = simulation
         self.steering_force = steering_force
         self.dna_indices = np.asarray(dna_indices, dtype=np.intp)
+        self._obs = as_obs(obs)
         rng = as_generator(seed)
         down_rng, up_rng = spawn(rng, 2)
-        self.down = ReliableChannel(qos, seed=down_rng)   # sim -> viz
-        self.up = ReliableChannel(qos, seed=up_rng)       # viz -> sim
+        # sim -> viz and viz -> sim legs of the closed loop.
+        self.down = ReliableChannel(qos, seed=down_rng, obs=obs, name="imd.down")
+        self.up = ReliableChannel(qos, seed=up_rng, obs=obs, name="imd.up")
         self.user = user
         self.steps_per_frame = int(steps_per_frame)
         self.seconds_per_step = float(seconds_per_step)
@@ -138,6 +151,8 @@ class IMDSession:
             stall = start - finish
             stall_time += stall
             frame_stalls.append(stall)
+            if self._obs.enabled:
+                self._obs.metrics.observe("imd.frame_stall_s", stall)
 
             # Apply the newest user force whose command has reached us.
             ripe = [cmd for cmd in pending_commands if cmd[0] <= start]
@@ -174,6 +189,13 @@ class IMDSession:
 
         # Wall time ends when the last frame's compute finishes (the
         # allocation is released; remaining in-flight controls are moot).
+        if self._obs.enabled:
+            self._obs.metrics.inc("imd.compute_s", compute_time)
+            self._obs.metrics.inc("imd.stall_s", stall_time)
+            self._obs.tracer.event(
+                "imd.session", n_frames=n_frames, wall_time_s=finish,
+                stall_time_s=stall_time,
+            )
         return InteractivityReport(
             n_frames=n_frames,
             compute_time=compute_time,

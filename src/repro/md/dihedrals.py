@@ -12,7 +12,6 @@ validated against finite differences in the tests.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -15,13 +15,12 @@ the hooks the rest of the reproduction relies on:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError
 from . import checkpoint as ckpt
-from .integrators import LangevinBAOAB, VelocityVerlet
 from .system import ParticleSystem
 
 __all__ = ["Simulation"]

@@ -7,7 +7,7 @@ the :class:`~repro.md.forces.Force` interface.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, Tuple
+from typing import Optional, Protocol, Tuple
 
 import numpy as np
 

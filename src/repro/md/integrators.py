@@ -18,7 +18,7 @@ potential energy so engines can track totals without a second evaluation.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

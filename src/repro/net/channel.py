@@ -16,12 +16,12 @@ with their own clocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from ..errors import ConfigurationError, NetworkError
+from ..obs import Obs, as_obs
 from ..rng import SeedLike, as_generator
 from .qos import QoSSpec
 
@@ -95,15 +95,23 @@ class ReliableChannel:
     rto_factor:
         Initial retransmission timeout as a multiple of the one-way latency
         (classic transport heuristic; doubles per retry).
+    obs / name:
+        Optional instrumentation handle (see :mod:`repro.obs`) and the
+        channel's metric label: deliveries, retransmissions, per-message
+        delay and cumulative retransmission stall are recorded under
+        ``net.*.<name>``.
     """
 
-    def __init__(self, qos: QoSSpec, seed: SeedLike = None, rto_factor: float = 3.0) -> None:
+    def __init__(self, qos: QoSSpec, seed: SeedLike = None, rto_factor: float = 3.0,
+                 obs: Optional[Obs] = None, name: str = "channel") -> None:
         if rto_factor <= 0.0:
             raise ConfigurationError("rto_factor must be positive")
         self.qos = qos
         self.rng = as_generator(seed)
         self.rto_factor = float(rto_factor)
         self.stats = ChannelStats()
+        self.name = name
+        self._obs = as_obs(obs)
 
     def transmit(self, now_s: float, size_bytes: int = 1024) -> TransferResult:
         """Deliver one message reliably; returns its arrival time.
@@ -143,4 +151,13 @@ class ReliableChannel:
             retransmission_delay=max(best_arrival - first_attempt_would_arrive, 0.0),
         )
         self.stats.record(result, size_bytes)
+        if self._obs.enabled:
+            self._obs.metrics.inc(f"net.messages.{self.name}")
+            self._obs.metrics.observe(f"net.delay_s.{self.name}", result.delay)
+            if result.attempts > 1:
+                self._obs.metrics.inc(f"net.retransmissions.{self.name}",
+                                      result.attempts - 1)
+            self._obs.metrics.counter(f"net.stall_s.{self.name}").inc(
+                result.retransmission_delay
+            )
         return result

@@ -15,7 +15,7 @@ reachability matrix to reproduce which site pairings could actually run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, UnreachableHostError

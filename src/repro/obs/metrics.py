@@ -1,0 +1,220 @@
+"""Metric primitives and the registry that owns them.
+
+Three instrument kinds cover everything the reproduction measures:
+
+* :class:`Counter` — a monotonically increasing total (events processed,
+  messages sent, CPU-hours burnt);
+* :class:`Gauge` — a last-write-wins level (per-site utilization, the
+  simulated clock);
+* :class:`Histogram` — a full sample record with summary statistics
+  (queue waits, per-frame stalls, message delays).  Runs in this repo are
+  small (tens to thousands of observations), so histograms keep exact
+  samples rather than bucketed approximations — percentiles are exact and
+  exporters can dump the raw series.
+
+A :class:`MetricsRegistry` creates instruments on first use (get-or-create
+by name, with kind checking) so instrumented code never has to declare its
+metrics up front.  Names are dotted paths with the subsystem first and any
+per-site / per-channel qualifier last, e.g. ``grid.queue_wait_hours.NCSA``.
+
+Everything here is deterministic and free of global state: registries are
+plain objects handed around explicitly (see :mod:`repro.obs.handle`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonic total.  ``inc`` with a negative amount is an error."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: Number = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += float(amount)
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value:g})"
+
+
+class Gauge:
+    """Last-write-wins level."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value:g})"
+
+
+class Histogram:
+    """Exact-sample distribution with summary statistics."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0-100) of the observed samples."""
+        if not self.values:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
+    def summary(self) -> dict:
+        """The stats every report wants, JSON-ready."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "max": self.max,
+        }
+
+    def as_dict(self) -> dict:
+        return self.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store, keyed by dotted metric name.
+
+    Asking for an existing name with a different kind raises
+    :class:`~repro.errors.ConfigurationError` — silent kind confusion is
+    how telemetry lies.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory) -> _Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, factory):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested {factory.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- conveniences for one-shot call sites --------------------------------
+
+    def inc(self, name: str, amount: Number = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection -------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> _Instrument:
+        try:
+            return self._instruments[name]
+        except KeyError:
+            raise ConfigurationError(f"no metric named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterable[_Instrument]:
+        return iter(self._instruments.values())
+
+    def matching(self, prefix: str) -> List[_Instrument]:
+        """Instruments whose name equals ``prefix`` or starts with
+        ``prefix + '.'`` (the per-site / per-channel fan-out pattern)."""
+        return [
+            inst for name, inst in sorted(self._instruments.items())
+            if name == prefix or name.startswith(prefix + ".")
+        ]
+
+    def as_dict(self) -> dict:
+        """Nested JSON-ready view: kind -> name -> stats."""
+        out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in self.names():
+            inst = self._instruments[name]
+            bucket = {"counter": "counters", "gauge": "gauges",
+                      "histogram": "histograms"}[inst.kind]
+            out[bucket][name] = (
+                inst.value if not isinstance(inst, Histogram) else inst.summary()
+            )
+        return out

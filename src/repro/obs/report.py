@@ -1,0 +1,208 @@
+"""Run-report assembly: one machine-readable document per campaign run.
+
+:func:`campaign_run_report` merges the two sources of truth about a run —
+the campaign *result* object (physics outcome, per-site job placement) and
+the *observability handle* it was run under (queue-wait histograms, channel
+stall totals, ensemble wall times) — into a plain nested dict, the
+document ``python -m repro campaign --json`` and ``python -m repro report``
+emit.  :func:`render_run_report` renders the same document as an aligned
+ASCII table for humans.
+
+The result object is duck-typed (anything with ``.batch.campaign`` and
+``.summary()`` works) so this module never imports :mod:`repro.workflow`
+— observability stays a leaf dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .handle import Obs, as_obs
+from .metrics import Histogram
+
+__all__ = ["campaign_run_report", "render_run_report", "REPORT_SCHEMA"]
+
+#: Version tag embedded in every report so downstream tooling can evolve.
+REPORT_SCHEMA = "repro.obs.run_report/v1"
+
+
+def _site_wait_stats(obs: Obs, campaign) -> Dict[str, dict]:
+    """Queue-wait summary per site: the obs histogram when the run was
+    instrumented end-to-end, else recomputed from completed jobs."""
+    out: Dict[str, dict] = {}
+    for inst in obs.metrics.matching("grid.queue_wait_hours"):
+        if isinstance(inst, Histogram) and inst.name != "grid.queue_wait_hours":
+            site = inst.name[len("grid.queue_wait_hours") + 1:]
+            out[site] = inst.summary()
+    if out:
+        return out
+    per_site: Dict[str, List[float]] = {}
+    for job in campaign.completed:
+        if job.wait_hours is not None:
+            per_site.setdefault(job.resource or "?", []).append(job.wait_hours)
+    for site, waits in per_site.items():
+        h = Histogram(site)
+        for w in waits:
+            h.observe(w)
+        out[site] = h.summary()
+    return out
+
+
+def _channel_stats(obs: Obs) -> Dict[str, dict]:
+    """Per-channel transport stats from the ``net.*`` metric families.
+
+    Channel names may themselves be dotted (``imd.down``), so the family
+    prefix is stripped rather than splitting on the last dot.
+    """
+    channels: Dict[str, dict] = {}
+    families = [("net.messages", "messages"),
+                ("net.retransmissions", "retransmissions"),
+                ("net.stall_s", "stall_s")]
+    for prefix, key in families:
+        for inst in obs.metrics.matching(prefix):
+            if inst.name == prefix:
+                continue
+            name = inst.name[len(prefix) + 1:]
+            channels.setdefault(name, {})[key] = inst.value
+    for inst in obs.metrics.matching("net.delay_s"):
+        if isinstance(inst, Histogram) and inst.name != "net.delay_s":
+            name = inst.name[len("net.delay_s") + 1:]
+            channels.setdefault(name, {})["delay_s"] = inst.summary()
+    return channels
+
+
+def _counter_value(obs: Obs, name: str) -> float:
+    return obs.metrics.counter(name).value if name in obs.metrics else 0.0
+
+
+def campaign_run_report(result, obs: Optional[Obs] = None,
+                        **extra: Any) -> dict:
+    """Build the run report for a completed SPICE campaign.
+
+    Parameters
+    ----------
+    result:
+        A campaign result exposing ``.summary()`` and ``.batch.campaign``
+        (a :class:`~repro.grid.federation.CampaignReport`).
+    obs:
+        The handle the run was instrumented with; ``None`` degrades
+        gracefully to whatever the result object alone can supply.
+    extra:
+        Caller context merged into the document root (command, seed, ...).
+    """
+    obs = as_obs(obs)
+    campaign = result.batch.campaign
+    summary = result.summary()
+
+    sites: Dict[str, dict] = {}
+    wait_stats = _site_wait_stats(obs, campaign)
+    for site, util in sorted(campaign.per_resource_utilization.items()):
+        sites[site] = {
+            "jobs_completed": campaign.per_resource_jobs.get(site, 0),
+            "utilization": util,
+            "queue_wait_hours": wait_stats.get(site, Histogram(site).summary()),
+        }
+
+    ensemble_wall_s = obs.tracer.total_duration("smd.ensemble")
+    je_samples = _counter_value(obs, "smd.je_samples")
+    physics = {
+        "je_samples": je_samples,
+        "sim_ns": _counter_value(obs, "smd.sim_ns"),
+        "ensemble_wall_s": ensemble_wall_s,
+        "je_samples_per_sec": (
+            je_samples / ensemble_wall_s if ensemble_wall_s > 0 else None
+        ),
+        "optimal_kappa_pn": summary.get("optimal_kappa_pn"),
+        "optimal_velocity": summary.get("optimal_velocity"),
+    }
+
+    cost = {
+        "campaign_cpu_hours": campaign.total_cpu_hours,
+        "smd_cpu_hours": _counter_value(obs, "smd.cpu_hours"),
+        "makespan_hours": campaign.makespan_hours,
+        "wall_clock_days": summary.get("campaign_days"),
+        "mean_wait_hours": campaign.mean_wait_hours,
+        "requeues": campaign.requeues,
+        "jobs": summary.get("n_jobs"),
+        "unplaced_jobs": len(campaign.unplaced),
+        "des_events": _counter_value(obs, "des.events"),
+    }
+
+    report = {
+        "schema": REPORT_SCHEMA,
+        **extra,
+        "campaign": summary,
+        "sites": sites,
+        "network": {"channels": _channel_stats(obs)},
+        "physics": physics,
+        "cost": cost,
+    }
+    return report
+
+
+def render_run_report(report: dict) -> str:
+    """Aligned plain-text rendering of a run-report document."""
+    lines: List[str] = []
+    lines.append("SPICE run report")
+    lines.append("================")
+
+    lines.append("")
+    lines.append("sites:")
+    sites = report.get("sites", {})
+    if sites:
+        width = max(len(s) for s in sites)
+        for site, row in sites.items():
+            wait = row["queue_wait_hours"]
+            lines.append(
+                f"  {site:<{width}}  jobs {row['jobs_completed']:>3}  "
+                f"util {row['utilization']:>5.2f}  "
+                f"wait mean {wait['mean']:>6.2f} h  "
+                f"p95 {wait['p95']:>6.2f} h  max {wait['max']:>6.2f} h"
+            )
+    else:
+        lines.append("  (none)")
+
+    channels = report.get("network", {}).get("channels", {})
+    lines.append("")
+    lines.append("network channels:")
+    if channels:
+        width = max(len(c) for c in channels)
+        for name, row in channels.items():
+            lines.append(
+                f"  {name:<{width}}  messages {row.get('messages', 0):>6.0f}  "
+                f"retransmissions {row.get('retransmissions', 0):>4.0f}  "
+                f"stall {row.get('stall_s', 0.0):>8.3f} s"
+            )
+    else:
+        lines.append("  (none)")
+
+    physics = report.get("physics", {})
+    lines.append("")
+    lines.append("physics:")
+    rate = physics.get("je_samples_per_sec")
+    rate_txt = f"{rate:.1f} samples/s" if rate else "n/a"
+    lines.append(
+        f"  JE samples {physics.get('je_samples', 0):.0f}  "
+        f"({rate_txt}, {physics.get('ensemble_wall_s', 0.0):.2f} s ensemble wall)"
+    )
+    if physics.get("optimal_kappa_pn") is not None:
+        lines.append(
+            f"  optimal kappa {physics['optimal_kappa_pn']:g} pN/A, "
+            f"v {physics['optimal_velocity']:g} A/ns"
+        )
+
+    cost = report.get("cost", {})
+    lines.append("")
+    lines.append("cost:")
+    lines.append(
+        f"  {cost.get('jobs', 0)} jobs  "
+        f"{cost.get('campaign_cpu_hours', 0.0):.0f} CPU-h  "
+        f"makespan {cost.get('makespan_hours', 0.0):.1f} h  "
+        f"mean wait {cost.get('mean_wait_hours', 0.0):.2f} h  "
+        f"requeues {cost.get('requeues', 0):.0f}"
+    )
+    lines.append(
+        f"  DES events {cost.get('des_events', 0):.0f}  "
+        f"unplaced jobs {cost.get('unplaced_jobs', 0)}"
+    )
+    return "\n".join(lines)

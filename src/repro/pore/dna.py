@@ -18,7 +18,7 @@ so callers assemble the force stack they need (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -18,7 +18,6 @@ modulation of the wall radius.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

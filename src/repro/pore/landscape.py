@@ -11,7 +11,7 @@ error in the Fig. 4 reproduction).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ ensemble (hpc-parallel guide: vectorize over the batch dimension).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Tuple
+from typing import Protocol
 
 import numpy as np
 

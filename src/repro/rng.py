@@ -8,11 +8,11 @@ simulations gets a statistically independent but reproducible stream.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from typing import Iterator, Sequence, Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "as_generator", "spawn", "stream_for"]
+__all__ = ["SeedLike", "as_generator", "as_seed_int", "spawn", "stream_for"]
 
 SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
@@ -28,6 +28,21 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.SeedSequence):
         return np.random.Generator(np.random.PCG64(seed))
     return np.random.default_rng(seed)
+
+
+def as_seed_int(seed: SeedLike) -> int:
+    """Collapse any seed-like input to a deterministic base-seed integer.
+
+    Components that key :func:`stream_for` streams off an integer (the
+    campaign drivers) accept the full :data:`SeedLike` union through this
+    helper: an int (or NumPy integer) passes through unchanged — so
+    integer-seeded runs are bit-identical to the historical behaviour — a
+    generator or seed sequence contributes one draw from its stream, and
+    ``None`` yields fresh OS entropy.
+    """
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return int(seed)
+    return int(as_generator(seed).integers(0, 2**63))
 
 
 def spawn(seed: SeedLike, n: int) -> list[np.random.Generator]:

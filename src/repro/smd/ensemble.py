@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
 from ..rng import SeedLike, as_generator
 from .protocol import PullingProtocol
@@ -52,6 +53,7 @@ def run_pulling_ensemble(
     force_sample_time: Optional[float] = DEFAULT_FORCE_SAMPLE_TIME,
     seed: SeedLike = None,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
 ) -> WorkEnsemble:
     """Run ``n_samples`` constant-velocity pulls and collect work curves.
 
@@ -72,11 +74,18 @@ def run_pulling_ensemble(
     force_sample_time:
         Physical stride (ns) of spring-force output used for trapezoid work
         integration, or ``None`` for exact per-step midpoint accumulation.
+    obs:
+        Optional instrumentation handle: the whole ensemble runs inside an
+        ``smd.ensemble`` host-clock span (wall seconds -> JE samples/sec),
+        and ``smd.je_samples`` / ``smd.sim_ns`` / ``smd.cpu_hours``
+        counters accumulate across ensembles.  Observation never touches
+        the RNG, so instrumented runs are bit-identical to bare ones.
     """
     if n_samples < 1:
         raise ConfigurationError("n_samples must be at least 1")
     if n_records < 2:
         raise ConfigurationError("n_records must be at least 2")
+    obs = as_obs(obs)
     rng = as_generator(seed)
 
     kappa = protocol.kappa_internal
@@ -104,51 +113,59 @@ def run_pulling_ensemble(
     n_steps = n_strides * stride
     dt_eff = duration / n_steps
 
-    # Equilibrate in the static trap at the start station (equilibrium
-    # initial ensemble: a precondition of Jarzynski's equality).
-    z = model.equilibrate(
-        n_samples,
-        spring_kappa=kappa,
-        spring_center=protocol.start_z,
-        dt=dt_eff,
-        time_ns=protocol.equilibration_ns,
-        seed=rng,
-    )
+    # The whole integration runs inside one host-clock span: its wall
+    # duration is the denominator of the JE samples/sec rate.
+    with obs.span("smd.ensemble", kappa_pn=protocol.kappa_pn,
+                  velocity=protocol.velocity, n_samples=n_samples):
+        # Equilibrate in the static trap at the start station (equilibrium
+        # initial ensemble: a precondition of Jarzynski's equality).
+        z = model.equilibrate(
+            n_samples,
+            spring_kappa=kappa,
+            spring_center=protocol.start_z,
+            dt=dt_eff,
+            time_ns=protocol.equilibration_ns,
+            seed=rng,
+        )
 
-    record_at = _record_schedule(n_strides, n_records) * stride
+        record_at = _record_schedule(n_strides, n_records) * stride
 
-    works = np.zeros((n_samples, n_records), dtype=np.float64)
-    positions = np.zeros((n_samples, n_records), dtype=np.float64)
-    displacements = np.zeros(n_records, dtype=np.float64)
-    positions[:, 0] = z
-    w = np.zeros(n_samples, dtype=np.float64)
+        works = np.zeros((n_samples, n_records), dtype=np.float64)
+        positions = np.zeros((n_samples, n_records), dtype=np.float64)
+        displacements = np.zeros(n_records, dtype=np.float64)
+        positions[:, 0] = z
+        w = np.zeros(n_samples, dtype=np.float64)
 
-    v = protocol.velocity
-    exact = force_sample_time is None
-    # Spring force sampled at the last completed sampling point.
-    f_prev = kappa * (protocol.start_z - z)
-    lam = protocol.start_z
-    rec = 1
-    for step in range(1, n_steps + 1):
-        lam_new = protocol.start_z + v * step * dt_eff
-        if exact:
-            # Midpoint-in-lambda exact work for the trap move lam -> lam_new.
-            w += kappa * (lam_new - lam) * (0.5 * (lam + lam_new) - z)
-        lam = lam_new
-        model.step_ensemble(z, dt_eff, rng, spring_kappa=kappa, spring_center=lam)
-        if not exact and step % stride == 0:
-            f_now = kappa * (lam - z)
-            # Trapezoid over the sampling interval: W += v dt_s (F0 + F1)/2.
-            w += v * (stride * dt_eff) * 0.5 * (f_prev + f_now)
-            f_prev = f_now
-        if step == record_at[rec]:
-            works[:, rec] = w
-            positions[:, rec] = z
-            displacements[rec] = lam - protocol.start_z
-            rec += 1
-    assert rec == n_records, "record schedule must consume all stations"
+        v = protocol.velocity
+        exact = force_sample_time is None
+        # Spring force sampled at the last completed sampling point.
+        f_prev = kappa * (protocol.start_z - z)
+        lam = protocol.start_z
+        rec = 1
+        for step in range(1, n_steps + 1):
+            lam_new = protocol.start_z + v * step * dt_eff
+            if exact:
+                # Midpoint-in-lambda exact work for the trap move lam -> lam_new.
+                w += kappa * (lam_new - lam) * (0.5 * (lam + lam_new) - z)
+            lam = lam_new
+            model.step_ensemble(z, dt_eff, rng, spring_kappa=kappa, spring_center=lam)
+            if not exact and step % stride == 0:
+                f_now = kappa * (lam - z)
+                # Trapezoid over the sampling interval: W += v dt_s (F0 + F1)/2.
+                w += v * (stride * dt_eff) * 0.5 * (f_prev + f_now)
+                f_prev = f_now
+            if step == record_at[rec]:
+                works[:, rec] = w
+                positions[:, rec] = z
+                displacements[rec] = lam - protocol.start_z
+                rec += 1
+        assert rec == n_records, "record schedule must consume all stations"
 
     total_sim_ns = n_samples * (duration + protocol.equilibration_ns)
+    if obs.enabled:
+        obs.metrics.inc("smd.je_samples", n_samples)
+        obs.metrics.inc("smd.sim_ns", total_sim_ns)
+        obs.metrics.inc("smd.cpu_hours", total_sim_ns * cpu_hours_per_ns)
     return WorkEnsemble(
         protocol=protocol,
         displacements=displacements,

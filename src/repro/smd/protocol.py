@@ -10,7 +10,7 @@ batch phase) can be described as a list of protocols and hashed/compared.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..errors import ConfigurationError
 from ..units import pn_per_angstrom

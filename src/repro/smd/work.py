@@ -9,8 +9,7 @@ which the error analysis uses for the paper's sqrt(8) cost normalization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

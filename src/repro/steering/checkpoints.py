@@ -15,7 +15,7 @@ work.  The tree is storage-agnostic: payloads are the dicts produced by
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..errors import CheckpointError

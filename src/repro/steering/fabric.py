@@ -16,6 +16,7 @@ from typing import Optional
 from ..errors import UnreachableHostError
 from ..net.channel import ReliableChannel
 from ..net.nat import NetworkFabric, Route
+from ..obs import Obs, as_obs
 from ..rng import SeedLike
 from .services import ServiceConnection, SteeringService
 
@@ -30,6 +31,7 @@ def connect_over_fabric(
     dst_host: str,
     seed: SeedLike = None,
     message_bytes: int = 2048,
+    obs: Optional[Obs] = None,
 ) -> tuple[ServiceConnection, Route]:
     """Bind ``component`` to ``service`` over the ``src -> dst`` route.
 
@@ -38,9 +40,20 @@ def connect_over_fabric(
     QoS, including any gateway relay penalty.  Raises
     :class:`UnreachableHostError` when no route exists — the steering
     client simply cannot attach to a hidden-IP site without a gateway.
+
+    ``obs`` instruments the bound channel (metrics under
+    ``net.*.steering.<component>``) and records one route-resolution event
+    carrying the hop count and whether a gateway relay was involved.
     """
+    obs = as_obs(obs)
     route = fabric.resolve(src_host, dst_host)
-    channel = ReliableChannel(route.qos, seed=seed)
+    channel = ReliableChannel(route.qos, seed=seed, obs=obs,
+                              name=f"steering.{component}")
+    if obs.enabled:
+        obs.tracer.event(
+            "steering.route", component=component, src=src_host,
+            dst=dst_host, relayed=route.relayed,
+        )
     conn = ServiceConnection(service, component, channel=channel,
                              message_bytes=message_bytes)
     return conn, route

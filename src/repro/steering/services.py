@@ -16,9 +16,8 @@ experiments.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..errors import SteeringError
 from ..net.channel import ReliableChannel

@@ -13,12 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-import numpy as np
 
-from ..errors import ConfigurationError
-from ..grid import EventLoop, FederatedGrid, Grid, all_sites, ngs_sites, teragrid_sites
+from ..grid import EventLoop, FederatedGrid, Grid, ngs_sites, teragrid_sites
 from ..net import LIGHTPATH, QoSSpec
+from ..obs import Obs, as_obs
 from ..pore import ReducedTranslocationModel, default_reduced_potential
+from ..rng import SeedLike, as_seed_int
 from .phases import (
     BatchPhase,
     BatchPhaseResult,
@@ -31,13 +31,18 @@ from .phases import (
 __all__ = ["SpiceCampaignResult", "SpiceCampaign", "build_default_federation"]
 
 
-def build_default_federation(include_hpcx: bool = True) -> FederatedGrid:
-    """The paper's Fig. 5 federation: TeraGrid (NCSA/SDSC/PSC) + UK NGS."""
-    loop = EventLoop()
+def build_default_federation(include_hpcx: bool = True,
+                             obs: Optional[Obs] = None) -> FederatedGrid:
+    """The paper's Fig. 5 federation: TeraGrid (NCSA/SDSC/PSC) + UK NGS.
+
+    ``obs`` instruments the event loop and every batch queue (queue-wait
+    histograms, per-site job counters — see :mod:`repro.obs`).
+    """
+    loop = EventLoop(obs=obs)
     return FederatedGrid(
         [
-            Grid("TeraGrid", teragrid_sites(), loop),
-            Grid("NGS", ngs_sites(include_hpcx=include_hpcx), loop),
+            Grid("TeraGrid", teragrid_sites(), loop, obs=obs),
+            Grid("NGS", ngs_sites(include_hpcx=include_hpcx), loop, obs=obs),
         ]
     )
 
@@ -89,7 +94,18 @@ class SpiceCampaign:
         Batch sizing; the defaults give the paper's 72 jobs
         (3 kappas x 4 velocities x 6 replicas), each one ~0.1-0.9 ns pull.
     seed:
-        Master seed; every stochastic stage derives its own stream.
+        Master seed, any :data:`~repro.rng.SeedLike` (int, generator, seed
+        sequence or ``None``), normalized via
+        :func:`repro.rng.as_seed_int`; integer seeds reproduce the
+        historical int-only behaviour bit-for-bit.  Every stochastic stage
+        derives its own stream from the normalized base seed.
+    obs:
+        Optional instrumentation handle (see :mod:`repro.obs`).  Each
+        phase runs inside a host-clock span; when the campaign builds its
+        own default federation the handle also instruments the event loop
+        and batch queues, so the run report carries queue-wait histograms
+        and per-site utilization.  Pass an obs-instrumented federation
+        explicitly to keep queue metrics with a custom grid.
     """
 
     def __init__(
@@ -100,9 +116,14 @@ class SpiceCampaign:
         replicas_per_cell: int = 6,
         samples_per_replica: int = 1,
         interactive_frames: int = 30,
-        seed: int = 2005,
+        seed: SeedLike = 2005,
+        obs: Optional[Obs] = None,
     ) -> None:
-        self.federation = federation if federation is not None else build_default_federation()
+        self.obs = as_obs(obs)
+        self.federation = (
+            federation if federation is not None
+            else build_default_federation(obs=obs)
+        )
         self.model = model if model is not None else ReducedTranslocationModel(
             default_reduced_potential()
         )
@@ -110,27 +131,32 @@ class SpiceCampaign:
         self.replicas_per_cell = int(replicas_per_cell)
         self.samples_per_replica = int(samples_per_replica)
         self.interactive_frames = int(interactive_frames)
-        self.seed = int(seed)
+        self.seed = as_seed_int(seed)
 
     def run(self) -> SpiceCampaignResult:
-        structure = StaticVizPhase().run()
-        interactive = InteractivePhase(
-            qos=self.qos, n_frames=self.interactive_frames, seed=self.seed + 1
-        ).run()
+        with self.obs.span("campaign.static-viz"):
+            structure = StaticVizPhase().run()
+        with self.obs.span("campaign.interactive"):
+            interactive = InteractivePhase(
+                qos=self.qos, n_frames=self.interactive_frames,
+                seed=self.seed + 1, obs=self.obs,
+            ).run()
         # The reduced-model window is expressed in the reduced coordinate
         # (displacement about the constriction); the batch phase pulls over
         # a window of the structural phase's suggested length.
         half = structure.window_length / 2.0
-        batch = BatchPhase(
-            federation=self.federation,
-            model=self.model,
-            kappas=interactive.kappa_candidates,
-            velocities=interactive.velocity_candidates,
-            replicas_per_cell=self.replicas_per_cell,
-            samples_per_replica=self.samples_per_replica,
-            window=(-half, half),
-            seed=self.seed,
-        ).run()
+        with self.obs.span("campaign.batch"):
+            batch = BatchPhase(
+                federation=self.federation,
+                model=self.model,
+                kappas=interactive.kappa_candidates,
+                velocities=interactive.velocity_candidates,
+                replicas_per_cell=self.replicas_per_cell,
+                samples_per_replica=self.samples_per_replica,
+                window=(-half, half),
+                seed=self.seed,
+                obs=self.obs,
+            ).run()
         return SpiceCampaignResult(
             structure=structure, interactive=interactive, batch=batch
         )

@@ -17,7 +17,7 @@ method section.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -34,13 +34,14 @@ from ..grid import (
 from ..imd import HapticDevice, IMDSession, ScriptedUser
 from ..md import SteeringForce
 from ..net import LIGHTPATH, QoSSpec
+from ..obs import Obs, as_obs
 from ..pore import (
     HemolysinPore,
     ReducedTranslocationModel,
     build_translocation_simulation,
     default_reduced_potential,
 )
-from ..rng import SeedLike, as_generator, stream_for
+from ..rng import SeedLike, as_generator
 from ..smd import PullingProtocol, parameter_grid
 
 __all__ = [
@@ -134,6 +135,7 @@ class InteractivePhase:
         n_frames: int = 40,
         n_bases: int = 8,
         seed: SeedLike = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         if n_frames <= 0:
             raise ConfigurationError("n_frames must be positive")
@@ -141,6 +143,7 @@ class InteractivePhase:
         self.n_frames = int(n_frames)
         self.n_bases = int(n_bases)
         self.seed = seed
+        self.obs = as_obs(obs)
 
     def run(self) -> InteractiveInsight:
         rng = as_generator(self.seed)
@@ -151,7 +154,7 @@ class InteractivePhase:
         user = ScriptedUser(device, target_z=-20.0, gain=0.5, seed=rng)
         session = IMDSession(
             ts.simulation, steer, ts.dna_indices, self.qos, user=user,
-            steps_per_frame=25, seed=rng,
+            steps_per_frame=25, seed=rng, obs=self.obs,
         )
         report = session.run(self.n_frames)
         f_lo, f_hi = device.felt_force_range()
@@ -220,6 +223,7 @@ class BatchPhase:
         window: Tuple[float, float] = (-5.0, 5.0),
         steering_required: bool = True,
         seed: int = 2005,
+        obs: Optional[Obs] = None,
     ) -> None:
         if replicas_per_cell <= 0 or samples_per_replica <= 0:
             raise ConfigurationError("replicas and samples must be positive")
@@ -238,6 +242,7 @@ class BatchPhase:
         self.window = window
         self.steering_required = bool(steering_required)
         self.seed = int(seed)
+        self.obs = as_obs(obs)
 
     @property
     def n_jobs(self) -> int:
@@ -279,9 +284,10 @@ class BatchPhase:
             protocols=protocols,
             n_samples=self.replicas_per_cell * self.samples_per_replica,
             seed=self.seed,
+            obs=self.obs,
         )
         # Infrastructure: schedule the corresponding jobs on the federation.
         jobs = self.build_jobs(protocols)
-        manager = CampaignManager(self.federation)
+        manager = CampaignManager(self.federation, obs=self.obs)
         campaign = manager.run(jobs)
         return BatchPhaseResult(study=study, campaign=campaign, jobs=jobs)

@@ -18,9 +18,10 @@ import numpy as np
 
 from ..core.pmf import PMFEstimate, estimate_pmf
 from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
-from ..pore.tabulated import TabulatedPotential1D, full_axis_chain_potential
-from ..rng import stream_for
+from ..pore.tabulated import full_axis_chain_potential
+from ..rng import SeedLike, as_seed_int, stream_for
 from ..smd.ensemble import run_pulling_ensemble
 from ..smd.protocol import PullingProtocol
 from ..smd.subtrajectory import plan_subtrajectories, stitch_pmfs
@@ -65,7 +66,8 @@ def run_full_axis_production(
     axis_range: Tuple[float, float] = (-30.0, 30.0),
     window: float = 10.0,
     n_samples: int = 24,
-    seed: int = 2005,
+    seed: SeedLike = 2005,
+    obs: Optional[Obs] = None,
 ) -> FullAxisResult:
     """Run the production sweep over ``axis_range``.
 
@@ -73,9 +75,16 @@ def run_full_axis_production(
     pore's on-axis landscape (:func:`full_axis_chain_potential`).  Each
     window runs an independent ensemble with its own deterministic stream;
     per-window PMFs are stitched at the junctions.
+
+    ``seed`` is any :data:`~repro.rng.SeedLike`, normalized via
+    :func:`repro.rng.as_seed_int` (integer seeds keep their historical
+    bit-for-bit behaviour); ``obs`` is the optional instrumentation
+    handle, forwarded to every window's pulling ensemble.
     """
     if axis_range[1] <= axis_range[0]:
         raise ConfigurationError("axis_range must be increasing")
+    base_seed = as_seed_int(seed)
+    obs = as_obs(obs)
     if model is None:
         model = ReducedTranslocationModel(full_axis_chain_potential())
     total = axis_range[1] - axis_range[0]
@@ -88,9 +97,10 @@ def run_full_axis_production(
     estimates: List[PMFEstimate] = []
     ensembles: List[WorkEnsemble] = []
     for i, proto in enumerate(plan.protocols):
-        rng = stream_for(seed, "production-window", i)
-        ens = run_pulling_ensemble(model, proto, n_samples=n_samples,
-                                   seed=rng)
+        rng = stream_for(base_seed, "production-window", i)
+        with obs.span("production.window", index=i, start_z=proto.start_z):
+            ens = run_pulling_ensemble(model, proto, n_samples=n_samples,
+                                       seed=rng, obs=obs)
         est = estimate_pmf(ens)
         ensembles.append(ens)
         estimates.append(est)

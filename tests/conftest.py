@@ -7,7 +7,6 @@ import pytest
 
 from repro.md import (
     HarmonicBondForce,
-    LangevinBAOAB,
     ParticleSystem,
     Simulation,
     TopologyBuilder,

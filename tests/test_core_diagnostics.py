@@ -11,7 +11,6 @@ from repro.core.diagnostics import (
 )
 from repro.errors import AnalysisError
 from repro.smd import PullingProtocol, run_pulling_ensemble
-from repro.units import KB
 
 T = 300.0
 

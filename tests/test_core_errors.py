@@ -4,14 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    ErrorBudget,
     analyze_ensemble,
     bootstrap_statistical_error,
     cost_normalization_factor,
     cost_normalized_error,
     pairwise_consistency,
     systematic_error,
-    estimate_pmf,
 )
 from repro.core.pmf import PMFEstimate
 from repro.errors import AnalysisError, ConfigurationError

@@ -1,0 +1,107 @@
+"""Tests for the unified estimator registry (repro.core.estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    available_estimators,
+    block_estimator,
+    cumulant_estimator,
+    estimate_free_energy,
+    exponential_estimator,
+    register_estimator,
+)
+from repro.core.estimators import _REGISTRY
+from repro.errors import AnalysisError, ConfigurationError
+
+
+@pytest.fixture
+def works():
+    rng = np.random.default_rng(42)
+    return rng.normal(10.0, 2.0, size=(16, 5))
+
+
+class TestDispatch:
+    def test_builtins_registered(self):
+        assert available_estimators() == ("block", "cumulant", "exponential")
+
+    def test_exponential_dispatch_is_bit_identical(self, works):
+        via_registry = estimate_free_energy(works, 300.0, method="exponential")
+        direct = exponential_estimator(works, 300.0)
+        np.testing.assert_array_equal(via_registry, direct)
+
+    def test_cumulant_dispatch_is_bit_identical(self, works):
+        via_registry = estimate_free_energy(works, 300.0, method="cumulant")
+        direct = cumulant_estimator(works, 300.0)
+        np.testing.assert_array_equal(via_registry, direct)
+
+    def test_block_dispatch_and_kwargs_passthrough(self, works):
+        via_registry = estimate_free_energy(works, 300.0, method="block",
+                                            n_blocks=8)
+        direct_mean, direct_spread = block_estimator(works, 300.0, n_blocks=8)
+        mean, spread = via_registry
+        np.testing.assert_array_equal(mean, direct_mean)
+        np.testing.assert_array_equal(spread, direct_spread)
+
+    def test_default_method_is_exponential(self, works):
+        np.testing.assert_array_equal(
+            estimate_free_energy(works, 300.0),
+            exponential_estimator(works, 300.0),
+        )
+
+    def test_unknown_method_raises_with_choices(self, works):
+        with pytest.raises(AnalysisError, match="exponential"):
+            estimate_free_energy(works, 300.0, method="magic")
+
+
+class TestRegistration:
+    def test_register_and_dispatch_custom(self, works):
+        def doubled(w, temperature):
+            return 2.0 * exponential_estimator(w, temperature)
+
+        register_estimator("doubled-test", doubled)
+        try:
+            assert "doubled-test" in available_estimators()
+            np.testing.assert_array_equal(
+                estimate_free_energy(works, 300.0, method="doubled-test"),
+                doubled(works, 300.0),
+            )
+        finally:
+            del _REGISTRY["doubled-test"]
+
+    def test_decorator_form(self, works):
+        @register_estimator("decorated-test")
+        def naive(w, temperature):
+            return np.asarray(w).mean(axis=0)
+
+        try:
+            np.testing.assert_array_equal(
+                estimate_free_energy(works, 300.0, method="decorated-test"),
+                works.mean(axis=0),
+            )
+        finally:
+            del _REGISTRY["decorated-test"]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_estimator("exponential", exponential_estimator)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_estimator("not-callable-test", 42)
+
+
+class TestPMFIntegration:
+    def test_estimate_pmf_block_uses_mean_component(self):
+        from repro.pore import (ReducedTranslocationModel,
+                                default_reduced_potential)
+        from repro.smd import PullingProtocol, run_pulling_ensemble
+        from repro.core import estimate_pmf
+
+        model = ReducedTranslocationModel(default_reduced_potential())
+        proto = PullingProtocol(kappa_pn=100.0, velocity=12.5,
+                                distance=4.0, start_z=-2.0)
+        ens = run_pulling_ensemble(model, proto, n_samples=8, seed=3)
+        est = estimate_pmf(ens, estimator="block")
+        mean, _ = block_estimator(ens.works, ens.temperature)
+        np.testing.assert_allclose(est.values, mean - mean[0])

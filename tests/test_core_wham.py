@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import UmbrellaProtocol, run_umbrella_sampling, wham
 from repro.errors import AnalysisError, ConfigurationError
-from repro.pore import AxialLandscape, ReducedTranslocationModel
 from repro.units import KB
 
 

@@ -1,6 +1,5 @@
 """Tests for the synthetic background workload."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

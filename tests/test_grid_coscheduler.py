@@ -1,6 +1,5 @@
 """Tests for cross-grid co-scheduling (Sections V-C3 and V-C6)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CoSchedulingError, ConfigurationError

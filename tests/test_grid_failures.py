@@ -12,7 +12,6 @@ from repro.grid import (
     FederatedGrid,
     Grid,
     Job,
-    JobState,
     SECURITY_BREACH_WEEKS,
 )
 

@@ -11,7 +11,6 @@ from repro.grid import (
     FederatedGrid,
     Grid,
     Job,
-    JobState,
     ngs_sites,
     spice_batch_jobs,
     teragrid_sites,

@@ -1,6 +1,5 @@
 """Tests for the IMD closed loop: the paper's QoS claims."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -11,7 +10,6 @@ from repro.net import (
     DEGRADED_INTERNET,
     LIGHTPATH,
     PRODUCTION_INTERNET,
-    QoSSpec,
 )
 from repro.pore import build_translocation_simulation
 

@@ -2,13 +2,8 @@
 cases — the scientific core of the reproduction."""
 
 import numpy as np
-import pytest
 
-from repro.core import (
-    cumulant_estimator,
-    estimate_pmf,
-    exponential_estimator,
-)
+from repro.core import estimate_pmf, exponential_estimator
 from repro.pore import AxialLandscape, ReducedTranslocationModel
 from repro.smd import (
     PullingProtocol,
@@ -16,7 +11,6 @@ from repro.smd import (
     run_pulling_ensemble,
     stitch_pmfs,
 )
-from repro.units import KB
 
 
 class TestHarmonicExactness:

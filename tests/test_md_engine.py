@@ -5,12 +5,10 @@ import pytest
 
 from repro.errors import CheckpointError, ConfigurationError, SimulationError
 from repro.md import (
-    HarmonicBondForce,
     HarmonicRestraintForce,
     LangevinBAOAB,
     ParticleSystem,
     Simulation,
-    TopologyBuilder,
     VelocityVerlet,
     capture,
     checkpoint_size_bytes,

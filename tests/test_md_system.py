@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.md import ParticleSystem
-from repro.units import KB
 
 
 def make(n=4, seed=0, **kw):

@@ -1,6 +1,5 @@
 """Tests for the reliable channel."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, NetworkError

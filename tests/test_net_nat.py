@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, UnreachableHostError
-from repro.net import GatewayNode, Host, NetworkFabric, QoSSpec, LIGHTPATH
+from repro.net import GatewayNode, Host, NetworkFabric, LIGHTPATH
 
 
 def build_fabric(psc_gateway=True):

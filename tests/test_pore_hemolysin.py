@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.pore import AxialLandscape, HemolysinPore, PoreGeometry
+from repro.pore import AxialLandscape, HemolysinPore
 
 
 def numerical_forces(pore, positions, h=1e-6):

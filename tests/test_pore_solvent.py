@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.pore import DEFAULT_GEOMETRY, ImplicitSolvent
-from repro.units import KB, MASS_TO_KCAL
+from repro.units import MASS_TO_KCAL
 
 
 class TestImplicitSolvent:

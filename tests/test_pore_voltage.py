@@ -18,7 +18,6 @@ class TestTiltFromVoltage:
 
     def test_experimental_order_of_magnitude(self):
         """~0.1-0.3 pN/mV is the nanopore-force literature range."""
-        from repro.units import kcal_per_angstrom2_to_pn_per_angstrom
 
         tilt = tilt_from_voltage(120.0)  # kcal/mol/A
         force_pn = abs(tilt) / 0.0143929  # kcal/mol/A -> pN

@@ -8,7 +8,6 @@ from repro.core import exponential_estimator
 from repro.errors import ConfigurationError
 from repro.pore import AxialLandscape, ReducedTranslocationModel
 from repro.smd import PullingProtocol, run_pulling_ensemble
-from repro.units import KB
 
 
 class TestMechanics:

@@ -13,7 +13,6 @@ from repro.md import (
     SteeringForce,
 )
 from repro.steering import (
-    CheckpointTree,
     ServiceConnection,
     SteerableParam,
     Steerer,

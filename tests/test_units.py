@@ -1,6 +1,5 @@
 """Unit-system and constant tests."""
 
-import math
 
 import pytest
 

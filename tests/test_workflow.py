@@ -1,6 +1,5 @@
 """Tests for the three-phase SPICE workflow."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
