@@ -9,7 +9,8 @@ Thin wrappers over the library for the common entry points:
 * ``report`` — instrumented campaign rendered as a run report;
 * ``qos`` — the IMD network-QoS table;
 * ``ti`` — thermodynamic-integration PMF over the window;
-* ``production`` — the stitched full-axis PMF.
+* ``production`` — the stitched full-axis PMF;
+* ``chaos`` — a named fault scenario run against the resilient campaign.
 
 Commands are rows of a declarative table (:data:`COMMANDS`); each row
 names its flags and a runner returning ``(text, summary)``.  Two global
@@ -292,6 +293,17 @@ def cmd_production(args) -> CommandResult:
     })
 
 
+def cmd_chaos(args) -> CommandResult:
+    from .obs import Obs
+    from .resil import SCENARIOS, render_chaos_report, run_chaos_scenario
+
+    scenario = SCENARIOS[args.scenario]
+    obs = Obs()
+    result = run_chaos_scenario(scenario, seed=args.seed,
+                                n_jobs=args.jobs, obs=obs)
+    return CommandResult(render_chaos_report(result), result)
+
+
 COMMANDS: Dict[str, CommandSpec] = {
     spec.name: spec
     for spec in [
@@ -343,6 +355,20 @@ COMMANDS: Dict[str, CommandSpec] = {
                 _arg("--samples", type=int, default=24),
                 _arg("--z-min", type=float, default=-30.0),
                 _arg("--z-max", type=float, default=30.0),
+            ),
+        ),
+        CommandSpec(
+            "chaos", "fault scenario against the resilient campaign",
+            cmd_chaos,
+            args=(
+                # Keep in sync with repro.resil.SCENARIOS (imported lazily
+                # so the CLI table stays import-light).
+                _arg("--scenario", default="breach-partition",
+                     choices=("baseline", "breach", "breach-partition",
+                              "cascade"),
+                     help="named fault scenario"),
+                _arg("--jobs", type=int, default=72,
+                     help="campaign size (paper batch: 72)"),
             ),
         ),
     ]

@@ -13,6 +13,7 @@ __all__ = [
     "SimulationError",
     "SteeringError",
     "NetworkError",
+    "RetryExhausted",
     "UnreachableHostError",
     "GridError",
     "SchedulingError",
@@ -43,6 +44,25 @@ class SteeringError(ReproError):
 
 class NetworkError(ReproError):
     """Simulated network failure (channel closed, transport exhausted)."""
+
+
+class RetryExhausted(NetworkError):
+    """A retried operation ran out of attempts (or budget).
+
+    The typed outcome of a :class:`~repro.resil.RetryPolicy` giving up:
+    carries the operation label, how many attempts were made, and the last
+    underlying error.  Subclasses :class:`NetworkError` because transport
+    exhaustion is the archetypal case (and the historical exception type
+    the reliable channel raised); gatekeeper/GridFTP calls are network
+    operations too.
+    """
+
+    def __init__(self, message: str, *, operation: str = "",
+                 attempts: int = 0, last_error: "Exception | None" = None) -> None:
+        super().__init__(message)
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class UnreachableHostError(NetworkError):

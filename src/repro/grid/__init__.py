@@ -23,6 +23,7 @@ from .middleware import (
     Application,
     GridEnabledApplication,
     GridMiddleware,
+    MiddlewareFaultWindow,
 )
 from .costmodel import CostModel, PAPER_COST_MODEL
 from .federation import Grid, FederatedGrid, CampaignManager, CampaignReport
@@ -52,6 +53,7 @@ __all__ = [
     "Application",
     "GridEnabledApplication",
     "GridMiddleware",
+    "MiddlewareFaultWindow",
     "CostModel",
     "PAPER_COST_MODEL",
     "Grid",

@@ -74,3 +74,75 @@ class FailureInjector:
                 t += repair_hours + float(self.rng.exponential(mtbf_hours))
                 n_injected += 1
         return n_injected
+
+    # -- network faults (chaos harness) ---------------------------------------
+
+    def network_partition(self, resil, grid_name: str, at_hours: float,
+                          duration_hours: float) -> None:
+        """Cut one grid off from the campaign broker for a window.
+
+        Registers a :class:`~repro.resil.GridPartition` on the resilience
+        bundle: while active the broker neither places to nor requeues
+        from the grid's queues.
+        """
+        if duration_hours <= 0:
+            raise ConfigurationError("partition duration must be positive")
+        # Imported here: repro.resil.core is a leaf, but keep the injector
+        # usable without the resil package loaded up front.
+        from ..resil.core import GridPartition
+
+        resil.partitions.append(
+            GridPartition(grid_name, at_hours, at_hours + duration_hours)
+        )
+        self.injected.append(
+            (grid_name, at_hours, duration_hours, "network partition")
+        )
+
+    def link_flap(self, channel, at_s: float, duration_s: float,
+                  n_flaps: int = 3, loss_rate: float = 1.0) -> None:
+        """A flapping link: ``n_flaps`` evenly spaced hard-loss windows.
+
+        Each flap covers half its slot (down, up, down, up...), so a
+        3-flap fault over 60 s yields 10 s cuts at 0, 20 and 40 s in.
+        Deterministic — no RNG draws.
+        """
+        if n_flaps < 1:
+            raise ConfigurationError("need at least one flap")
+        if duration_s <= 0:
+            raise ConfigurationError("flap duration must be positive")
+        slot = duration_s / n_flaps
+        for i in range(n_flaps):
+            channel.inject_fault(at_s + i * slot, slot / 2.0,
+                                 loss_rate=loss_rate)
+        self.injected.append(
+            (channel.name, at_s, duration_s, f"link flap x{n_flaps}")
+        )
+
+    def loss_burst(self, channel, at_s: float, duration_s: float,
+                   loss_rate: float = 0.5,
+                   extra_latency_ms: float = 0.0) -> None:
+        """A single degraded-link window (partial loss, optional rerouting
+        latency) — congestion rather than a hard cut."""
+        channel.inject_fault(at_s, duration_s, loss_rate=loss_rate,
+                             extra_latency_ms=extra_latency_ms)
+        self.injected.append(
+            (channel.name, at_s, duration_s,
+             f"loss burst p={loss_rate:g}")
+        )
+
+    # -- middleware faults (chaos harness) ------------------------------------
+
+    def middleware_auth_fault(self, middleware, site: str, at_hours: float,
+                              duration_hours: float) -> None:
+        """Gatekeeper rejects credentials at ``site`` for a window."""
+        middleware.inject_fault(site, "auth", at_hours, duration_hours)
+        self.injected.append((site, at_hours, duration_hours, "auth fault"))
+
+    def middleware_transfer_fault(self, middleware, site: str,
+                                  at_hours: float,
+                                  duration_hours: float) -> None:
+        """GridFTP refuses connections at ``site`` for a window."""
+        middleware.inject_fault(site, "transfer", at_hours, duration_hours)
+        self.injected.append(
+            (site, at_hours, duration_hours, "transfer fault")
+        )

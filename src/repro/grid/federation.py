@@ -12,7 +12,7 @@ carries makespan, waits and utilization for the batch-phase benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..obs import Obs, as_obs
@@ -112,10 +112,19 @@ class CampaignManager:
 
     Requeue: a monitor event every ``requeue_check_hours`` resubmits jobs
     killed by outages to the currently-best other queue.
+
+    With a :class:`~repro.resil.Resilience` bundle (``resil=``) the manager
+    stops reading the oracle ``queue.down`` flag and instead trusts the
+    bundle's heartbeat detector, consults its per-site circuit breakers
+    during placement, respects grid partitions, and turns "no queue
+    available right now" into a *deferred* placement retried with the
+    bundle's backoff policy instead of an immediate terminal ``unplaced``.
+    Without faults a resil-enabled campaign is bit-identical to the
+    oracle-driven one.
     """
 
     def __init__(self, federation: FederatedGrid, requeue_check_hours: float = 1.0,
-                 obs: Optional[Obs] = None) -> None:
+                 obs: Optional[Obs] = None, resil=None) -> None:
         if requeue_check_hours <= 0:
             raise ConfigurationError("requeue_check_hours must be positive")
         self.federation = federation
@@ -124,10 +133,24 @@ class CampaignManager:
         self.unplaced: List[Job] = []
         self._jobs: List[Job] = []
         self._obs = as_obs(obs)
+        self._resil = resil
+        #: (retry_at_hours, job) — placements waiting on backoff.
+        self._deferred: List[Tuple[float, Job]] = []
+        self._place_attempts: Dict[int, int] = {}
+        self._grid_of: Optional[Dict[str, str]] = None
 
     # -- placement ------------------------------------------------------------
 
-    def eligible_queues(self, job: Job) -> List[BatchQueue]:
+    def _grid_name(self, queue: BatchQueue) -> str:
+        if self._grid_of is None:
+            self._grid_of = {
+                name: g.name
+                for g in self.federation.grids for name in g.queues
+            }
+        return self._grid_of[queue.resource.name]
+
+    def _structural_candidates(self, job: Job) -> List[BatchQueue]:
+        """Queues that could *ever* host the job (capacity, connectivity)."""
         out = []
         for q in self.federation.all_queues().values():
             if job.procs > q.capacity:
@@ -138,6 +161,25 @@ class CampaignManager:
                 continue
             out.append(q)
         return out
+
+    def eligible_queues(self, job: Job) -> List[BatchQueue]:
+        out = self._structural_candidates(job)
+        resil = self._resil
+        if resil is None:
+            return out
+        now = self.loop.now
+        return [
+            q for q in out
+            if resil.reachable(self._grid_name(q), now)
+            and not resil.queue_down(q)
+            and resil.breaker_allows(q.resource.name)
+        ]
+
+    def _queue_down(self, queue: BatchQueue) -> bool:
+        """Observed liveness: detector verdict with resil, oracle without."""
+        if self._resil is not None:
+            return self._resil.queue_down(queue)
+        return queue.down
 
     @staticmethod
     def estimated_start(queue: BatchQueue, job: Job) -> float:
@@ -153,25 +195,90 @@ class CampaignManager:
             backlog += queue.capacity * 1000.0  # effectively never
         return (backlog + running) / queue.capacity
 
+    def _start_estimate(self, queue: BatchQueue, job: Job) -> float:
+        """:meth:`estimated_start` through the resilience bundle's eyes:
+        the down-penalty comes from the detector verdict (not the oracle
+        flag) and suspected-but-not-confirmed sites get a milder penalty.
+        Arithmetic is kept term-for-term identical to the static version so
+        fault-free runs rank queues bit-identically."""
+        if self._resil is None:
+            return self.estimated_start(queue, job)
+        backlog = sum(
+            j.procs * queue.resource.wall_hours(j.remaining_duration_hours)
+            for j in queue.waiting
+        )
+        running = sum(
+            (end - queue.loop.now) * j.procs for j, end in queue.running.values()
+        )
+        if self._resil.queue_down(queue):
+            backlog += queue.capacity * 1000.0  # effectively never
+        elif self._resil.suspected(queue):
+            backlog += queue.capacity * 100.0  # deprioritize, don't exclude
+        return (backlog + running) / queue.capacity
+
     def place(self, job: Job) -> Optional[BatchQueue]:
-        """Submit one job to the best eligible queue (None if none exists)."""
+        """Submit one job to the best eligible queue.
+
+        Returns ``None`` when no queue took the job.  Without a resilience
+        bundle that is terminal (``unplaced``); with one, a job whose
+        structural candidates exist but are currently dead / tripped /
+        partitioned is *deferred* and retried under the bundle's backoff
+        policy — only structurally impossible jobs or retry exhaustion
+        land in ``unplaced``.
+        """
         candidates = self.eligible_queues(job)
         if not candidates:
-            self.unplaced.append(job)
-            if self._obs.enabled:
-                self._obs.metrics.inc("grid.unplaced")
+            if self._resil is not None and self._structural_candidates(job):
+                self._defer(job)
+            else:
+                self._mark_unplaced(job)
             return None
-        best = min(candidates, key=lambda q: (self.estimated_start(q, job), q.resource.name))
+        best = min(candidates,
+                   key=lambda q: (self._start_estimate(q, job), q.resource.name))
         best.submit(job)
         if self._obs.enabled:
             self._obs.metrics.inc("grid.placements")
+            if self._resil is not None:
+                attempts = self._place_attempts.pop(job.job_id, 0) + 1
+                self._obs.metrics.observe(
+                    "resil.retry.attempts.grid.placement", attempts)
+        elif self._resil is not None:
+            self._place_attempts.pop(job.job_id, None)
         return best
+
+    def _mark_unplaced(self, job: Job) -> None:
+        self.unplaced.append(job)
+        if self._obs.enabled:
+            self._obs.metrics.inc("grid.unplaced")
+
+    def _defer(self, job: Job) -> None:
+        resil = self._resil
+        policy = resil.placement_retry
+        attempts = self._place_attempts.get(job.job_id, 0) + 1
+        self._place_attempts[job.job_id] = attempts
+        budget = resil.placement_budget
+        if policy.exhausted(attempts) or (
+                budget is not None and not budget.try_consume()):
+            self._place_attempts.pop(job.job_id, None)
+            self._mark_unplaced(job)
+            if self._obs.enabled:
+                self._obs.metrics.inc("resil.retry.exhausted.grid.placement")
+                self._obs.metrics.observe(
+                    "resil.retry.attempts.grid.placement", attempts)
+            return
+        rng = resil.retry_rng if policy.jitter > 0.0 else None
+        delay = policy.backoff(attempts, rng=rng)
+        self._deferred.append((self.loop.now + delay, job))
+        if self._obs.enabled:
+            self._obs.metrics.inc("grid.placements_deferred")
 
     # -- execution --------------------------------------------------------------
 
     def run(self, jobs: Sequence[Job], until: Optional[float] = None) -> CampaignReport:
         """Place all jobs, run the loop to completion, return the report."""
         self._jobs = list(jobs)
+        if self._resil is not None:
+            self._resil.bind(self.federation)
         with self._obs.span("grid.campaign", clock=getattr(self.loop, "clock", None),
                             jobs=len(self._jobs)):
             for job in self._jobs:
@@ -183,10 +290,30 @@ class CampaignManager:
     def _schedule_requeue_check(self) -> None:
         def check() -> None:
             requeued_any = False
+            now = self.loop.now
+            resil = self._resil
+            # Deferred placements whose backoff expired get another attempt
+            # (may defer again; exhaustion lands them in ``unplaced``).
+            if self._deferred:
+                ready = [(t, j) for t, j in self._deferred if t <= now + 1e-9]
+                if ready:
+                    self._deferred = [
+                        (t, j) for t, j in self._deferred if t > now + 1e-9
+                    ]
+                    for _t, job in ready:
+                        if self.place(job) is not None:
+                            requeued_any = True
             for q in self.federation.all_queues().values():
+                if resil is not None and not resil.reachable(
+                        self._grid_name(q), now):
+                    # Partitioned: the broker cannot see this queue at all —
+                    # killed jobs there wait for the partition to heal.
+                    continue
                 while q.killed:
                     job = q.killed.pop()
                     job.reset_for_requeue()
+                    if resil is not None and resil.breakers is not None:
+                        resil.breakers.record_failure(q.resource.name)
                     self.place(job)
                     requeued_any = True
                     if self._obs.enabled:
@@ -195,28 +322,38 @@ class CampaignManager:
                 # if a live alternative exists.  With no alternative they
                 # stay queued for weeks: the single-point-of-failure
                 # pathology the paper complains about.
-                if q.down and q.waiting:
+                if self._queue_down(q) and q.waiting:
                     for job in list(q.waiting):
                         alternatives = [
                             c for c in self.eligible_queues(job)
-                            if c is not q and not c.down
+                            if c is not q and not self._queue_down(c)
                         ]
                         if not alternatives:
                             continue
                         q.waiting.remove(job)
                         job.reset_for_requeue()
+                        if resil is not None and resil.breakers is not None:
+                            resil.breakers.record_failure(q.resource.name)
                         best = min(
                             alternatives,
-                            key=lambda c: (self.estimated_start(c, job),
+                            key=lambda c: (self._start_estimate(c, job),
                                            c.resource.name),
                         )
                         best.submit(job)
                         requeued_any = True
                         if self._obs.enabled:
                             self._obs.metrics.inc("grid.requeues")
-            # Keep checking while work remains anywhere.
-            if requeued_any or any(
-                q.waiting or q.running
+                # A half-open breaker whose queue answers the probe healthy
+                # closes again and the site rejoins the placement pool.
+                if (resil is not None and resil.breakers is not None
+                        and resil.breakers.half_open(q.resource.name)
+                        and not q.down):
+                    resil.breakers.record_success(q.resource.name)
+            # Keep checking while work remains anywhere.  (``q.killed`` and
+            # ``self._deferred`` are always empty without a resil bundle, so
+            # the legacy keep-alive condition is unchanged in that mode.)
+            if requeued_any or self._deferred or any(
+                q.waiting or q.running or q.killed
                 for q in self.federation.all_queues().values()
             ):
                 self.loop.schedule(self.requeue_check_hours, check)
@@ -224,6 +361,11 @@ class CampaignManager:
         self.loop.schedule(self.requeue_check_hours, check)
 
     def _report(self) -> CampaignReport:
+        # Deferred placements that never found a home before the loop ended
+        # (e.g. an ``until=`` cutoff) count as unplaced in the report.
+        for _t, job in self._deferred:
+            if job not in self.unplaced:
+                self.unplaced.append(job)
         completed = [j for j in self._jobs if j.state is JobState.COMPLETED]
         makespan = max((j.end_time for j in completed if j.end_time is not None),
                        default=0.0)

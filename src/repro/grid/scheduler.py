@@ -62,6 +62,7 @@ class BatchQueue:
         self.reservations: List[Reservation] = []
         self._res_ids = 0
         self.down = False
+        self._outage_until = 0.0
         self.completed: List[Job] = []
         self.killed: List[Job] = []
         self.utilization_trace: List[Tuple[float, int]] = [(0.0, 0)]
@@ -238,7 +239,15 @@ class BatchQueue:
         if duration <= 0:
             raise SchedulingError("outage needs positive duration")
 
+        outage_end = start + duration
+
         def go_down() -> None:
+            # Overlapping outages: remember the furthest end so an earlier
+            # outage's come_up cannot resurrect a queue still inside a later
+            # window, and never re-kill on a queue that is already down.
+            self._outage_until = max(self._outage_until, outage_end)
+            if self.down:
+                return
             self.down = True
             if self._obs.enabled:
                 self._obs.tracer.event(
@@ -266,11 +275,13 @@ class BatchQueue:
             self._trace()
 
         def come_up() -> None:
+            if self.loop.now < self._outage_until - 1e-12:
+                return  # stale: a later overlapping outage still holds us down
             self.down = False
             self._dispatch()
 
         self.loop.schedule_at(start, go_down)
-        self.loop.schedule_at(start + duration, come_up)
+        self.loop.schedule_at(outage_end, come_up)
 
     # -- reporting ---------------------------------------------------------------------
 
@@ -281,7 +292,11 @@ class BatchQueue:
         """Time-averaged fraction of exposed capacity in use."""
         trace = self.utilization_trace
         end = horizon if horizon is not None else self.loop.now
-        if end <= 0 or len(trace) < 2 and trace[-1][0] >= end:
+        # Guard the degenerate cases up front: no horizon, or no samples at
+        # all (the old `a or b and c` guard indexed trace[-1] on an empty
+        # trace).  A single sample at/after the horizon falls through and
+        # integrates to zero naturally.
+        if end <= 0 or not trace:
             return 0.0
         area = 0.0
         for (t0, used), (t1, _next_used) in zip(trace, trace[1:]):

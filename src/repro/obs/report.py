@@ -75,6 +75,40 @@ def _counter_value(obs: Obs, name: str) -> float:
     return obs.metrics.counter(name).value if name in obs.metrics else 0.0
 
 
+def _family_values(obs: Obs, prefix: str) -> Dict[str, Any]:
+    """Scrape one ``resil.*`` metric family into ``{suffix: value}``:
+    counters contribute their value, histograms their summary dict."""
+    out: Dict[str, Any] = {}
+    for inst in obs.metrics.matching(prefix):
+        if inst.name == prefix:
+            continue
+        suffix = inst.name[len(prefix) + 1:]
+        if isinstance(inst, Histogram):
+            out[suffix] = inst.summary()
+        else:
+            out[suffix] = inst.value
+    return dict(sorted(out.items()))
+
+
+def _resil_stats(obs: Obs) -> Dict[str, Any]:
+    """Resilience section: detector transitions/recoveries, breaker trips,
+    retry attempt histograms and exhaustion counters.  Empty families are
+    omitted so un-instrumented / fault-free runs stay compact."""
+    section: Dict[str, Any] = {}
+    families = {
+        "detector_transitions": "resil.detector.transitions",
+        "recovery_hours": "resil.detector.recovery_hours",
+        "breaker_trips": "resil.breaker.trips",
+        "retry_attempts": "resil.retry.attempts",
+        "retry_exhausted": "resil.retry.exhausted",
+    }
+    for key, prefix in families.items():
+        values = _family_values(obs, prefix)
+        if values:
+            section[key] = values
+    return section
+
+
 def campaign_run_report(result, obs: Optional[Obs] = None,
                         **extra: Any) -> dict:
     """Build the run report for a completed SPICE campaign.
@@ -136,6 +170,7 @@ def campaign_run_report(result, obs: Optional[Obs] = None,
         "network": {"channels": _channel_stats(obs)},
         "physics": physics,
         "cost": cost,
+        "resilience": _resil_stats(obs),
     }
     return report
 
@@ -205,4 +240,31 @@ def render_run_report(report: dict) -> str:
         f"  DES events {cost.get('des_events', 0):.0f}  "
         f"unplaced jobs {cost.get('unplaced_jobs', 0)}"
     )
+
+    resilience = report.get("resilience", {})
+    if resilience:
+        lines.append("")
+        lines.append("resilience:")
+        transitions = resilience.get("detector_transitions", {})
+        if transitions:
+            lines.append("  detector transitions: " + ", ".join(
+                f"{site}={int(n)}" for site, n in transitions.items()))
+        recoveries = resilience.get("recovery_hours", {})
+        for site, summary in recoveries.items():
+            lines.append(
+                f"  recovery {site}: mean {summary['mean']:.1f} h "
+                f"over {summary['count']:.0f} outage(s)")
+        trips = resilience.get("breaker_trips", {})
+        if trips:
+            lines.append("  breaker trips: " + ", ".join(
+                f"{site}={int(n)}" for site, n in trips.items()))
+        for op, summary in resilience.get("retry_attempts", {}).items():
+            lines.append(
+                f"  retries {op}: {summary['count']:.0f} calls, "
+                f"mean {summary['mean']:.2f} attempts, "
+                f"max {summary['max']:.0f}")
+        exhausted = resilience.get("retry_exhausted", {})
+        if exhausted:
+            lines.append("  retry exhaustion: " + ", ".join(
+                f"{op}={int(n)}" for op, n in exhausted.items()))
     return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Per-queue circuit breakers for the federated campaign.
+
+A queue that keeps killing jobs (outage churn, security breach) should
+stop receiving placements *before* the scheduler wastes more work on it:
+the classic circuit-breaker state machine,
+
+    CLOSED --(failure_threshold consecutive failures)--> OPEN
+    OPEN --(reset_timeout elapsed)--> HALF_OPEN (probe traffic allowed)
+    HALF_OPEN --success--> CLOSED,  --failure--> OPEN again
+
+driven here by the deterministic simulation clock (a ``clock()`` callable,
+normally ``lambda: loop.now``).  The campaign manager records a failure
+per killed/migrated job, consults :meth:`BreakerBoard.allows` in
+``eligible_queues``, and records a success when a half-open site is
+observed healthy — so breaker behaviour needs no randomness and stays
+bit-identical run to run.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
+
+__all__ = ["BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one queue/site."""
+
+    def __init__(self, name: str, clock: Callable[[], float],
+                 failure_threshold: int = 3,
+                 reset_timeout_hours: float = 6.0,
+                 obs: Optional[Obs] = None) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_timeout_hours <= 0:
+            raise ConfigurationError("reset_timeout_hours must be positive")
+        self.name = name
+        self.clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_hours = float(reset_timeout_hours)
+        self._obs = as_obs(obs)
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+        #: (time, old_state, new_state) history.
+        self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
+
+    def allows(self) -> bool:
+        """Whether placements may be routed here right now.
+
+        An OPEN breaker whose reset timeout has elapsed transitions to
+        HALF_OPEN as a side effect and admits probe traffic.
+        """
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at is not None
+            if self.clock() >= self.opened_at + self.reset_timeout_hours:
+                self._set_state(BreakerState.HALF_OPEN)
+        return self.state is not BreakerState.OPEN
+
+    def record_failure(self) -> None:
+        """One observed failure (killed job, rejected submit)."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+                self.state is BreakerState.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def record_success(self) -> None:
+        """The guarded queue was observed healthy; close the circuit."""
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._set_state(BreakerState.CLOSED)
+
+    def _trip(self) -> None:
+        self.trips += 1
+        self.opened_at = self.clock()
+        self.consecutive_failures = 0
+        self._set_state(BreakerState.OPEN)
+        if self._obs.enabled:
+            self._obs.metrics.inc(f"resil.breaker.trips.{self.name}")
+
+    def _set_state(self, new: BreakerState) -> None:
+        old = self.state
+        if new is old:
+            return
+        self.state = new
+        self.transitions.append((self.clock(), old, new))
+        if self._obs.enabled:
+            self._obs.tracer.event(
+                f"resil.breaker.{self.name}",
+                from_state=old.value, to_state=new.value,
+            )
+
+
+class BreakerBoard:
+    """Lazy per-site breaker collection sharing one configuration."""
+
+    def __init__(self, clock: Callable[[], float],
+                 failure_threshold: int = 3,
+                 reset_timeout_hours: float = 6.0,
+                 obs: Optional[Obs] = None) -> None:
+        self.clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_hours = float(reset_timeout_hours)
+        self._obs = as_obs(obs)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, site: str) -> CircuitBreaker:
+        b = self._breakers.get(site)
+        if b is None:
+            b = CircuitBreaker(
+                site, self.clock,
+                failure_threshold=self.failure_threshold,
+                reset_timeout_hours=self.reset_timeout_hours,
+                obs=self._obs,
+            )
+            self._breakers[site] = b
+        return b
+
+    def allows(self, site: str) -> bool:
+        return self.breaker(site).allows()
+
+    def record_failure(self, site: str) -> None:
+        self.breaker(site).record_failure()
+
+    def record_success(self, site: str) -> None:
+        self.breaker(site).record_success()
+
+    def state(self, site: str) -> BreakerState:
+        return self.breaker(site).state
+
+    def half_open(self, site: str) -> bool:
+        return self.breaker(site).state is BreakerState.HALF_OPEN
+
+    @property
+    def total_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+    def trip_counts(self) -> Dict[str, int]:
+        return {s: b.trips for s, b in sorted(self._breakers.items())
+                if b.trips}

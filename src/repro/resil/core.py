@@ -1,0 +1,151 @@
+"""The resilience bundle threaded through the campaign layer.
+
+:class:`Resilience` groups the three fault-tolerance mechanisms —
+heartbeat failure detector, per-site circuit breakers, placement retry
+policy/budget — plus any scheduled :class:`GridPartition` windows, behind
+the single ``resil=`` handle :class:`~repro.grid.CampaignManager` accepts.
+With no handle the manager keeps its historical oracle behaviour
+(reading ``queue.down`` directly); with a default bundle and no injected
+faults the campaign is bit-identical to the oracle run, because every
+mechanism is event-loop-deterministic and the default retry policy draws
+no random numbers.  Jittered policies draw from a *dedicated* stream
+(``stream_for(seed, "resil", "retry")``) so they never perturb the
+physics or network streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
+from ..rng import stream_for
+from .breaker import BreakerBoard
+from .detector import HeartbeatFailureDetector
+from .policy import DEFAULT_PLACEMENT_RETRY, RetryBudget, RetryPolicy
+
+__all__ = ["GridPartition", "Resilience"]
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """A network partition cutting one grid off from the campaign broker.
+
+    While active, the broker can neither submit to nor requeue from any
+    queue of the named grid; jobs already running there keep running
+    (site-local schedulers are unaffected — paper Section V-C1's hidden
+    sites behave the same way).
+    """
+
+    grid: str
+    start_hours: float
+    end_hours: float
+
+    def __post_init__(self) -> None:
+        if self.end_hours <= self.start_hours:
+            raise ConfigurationError("partition must have positive duration")
+
+    def active(self, now: float) -> bool:
+        return self.start_hours <= now < self.end_hours
+
+
+class Resilience:
+    """Detector + breakers + retry policy, bundled for the campaign manager.
+
+    Parameters
+    ----------
+    detector / breakers:
+        Optional :class:`~repro.resil.HeartbeatFailureDetector` and
+        :class:`~repro.resil.BreakerBoard`; either may be ``None`` to run
+        with a subset of the mechanisms.
+    placement_retry:
+        :class:`RetryPolicy` for job placement (hours).  Exhaustion turns
+        a job into a typed unplaced outcome instead of retrying forever.
+    placement_budget:
+        Optional total cap on placement retries across the whole campaign.
+    partitions:
+        Scheduled :class:`GridPartition` windows (normally injected by the
+        chaos harness).
+    seed:
+        Base seed for the dedicated retry-jitter stream.
+    """
+
+    def __init__(self, *, detector: Optional[HeartbeatFailureDetector] = None,
+                 breakers: Optional[BreakerBoard] = None,
+                 placement_retry: Optional[RetryPolicy] = None,
+                 placement_budget: Optional[RetryBudget] = None,
+                 partitions: Sequence[GridPartition] = (),
+                 seed: int = 2005, obs: Optional[Obs] = None) -> None:
+        self.detector = detector
+        self.breakers = breakers
+        self.placement_retry = (placement_retry if placement_retry is not None
+                                else DEFAULT_PLACEMENT_RETRY)
+        self.placement_budget = placement_budget
+        self.partitions: List[GridPartition] = list(partitions)
+        self.obs = as_obs(obs)
+        #: Dedicated jitter stream — only drawn when a policy has jitter > 0,
+        #: so default configurations stay bit-identical to the oracle run.
+        self.retry_rng = stream_for(int(seed), "resil", "retry")
+
+    @classmethod
+    def for_federation(cls, federation, *, seed: int = 2005,
+                       obs: Optional[Obs] = None,
+                       heartbeat_hours: float = 0.5,
+                       suspect_after: int = 2, confirm_after: int = 4,
+                       failure_threshold: int = 3,
+                       reset_timeout_hours: float = 6.0,
+                       placement_retry: Optional[RetryPolicy] = None,
+                       placement_budget: Optional[RetryBudget] = None,
+                       ) -> "Resilience":
+        """Default bundle wired to a federation: detector watching every
+        queue, a breaker board on the shared loop clock."""
+        loop = federation.loop
+        detector = HeartbeatFailureDetector(
+            loop, interval_hours=heartbeat_hours,
+            suspect_after=suspect_after, confirm_after=confirm_after,
+            obs=obs,
+        )
+        breakers = BreakerBoard(
+            clock=lambda: loop.now,
+            failure_threshold=failure_threshold,
+            reset_timeout_hours=reset_timeout_hours,
+            obs=obs,
+        )
+        resil = cls(detector=detector, breakers=breakers,
+                    placement_retry=placement_retry,
+                    placement_budget=placement_budget, seed=seed, obs=obs)
+        resil.bind(federation)
+        return resil
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, federation) -> None:
+        """Ensure the detector watches every federation queue (idempotent)."""
+        if self.detector is None:
+            return
+        for queue in federation.all_queues().values():
+            self.detector.watch(queue)
+
+    # -- queries the campaign manager makes -----------------------------------
+
+    def reachable(self, grid_name: str, now: float) -> bool:
+        """Whether the broker can talk to a grid's queues right now."""
+        return not any(p.grid == grid_name and p.active(now)
+                       for p in self.partitions)
+
+    def queue_down(self, queue) -> bool:
+        """Observed (not oracle) view of a queue's liveness: the detector's
+        confirmed-dead verdict when it watches the site, else the raw flag."""
+        if self.detector is not None and self.detector.watching(
+                queue.resource.name):
+            return not self.detector.is_alive(queue.resource.name)
+        return queue.down
+
+    def suspected(self, queue) -> bool:
+        return (self.detector is not None
+                and self.detector.watching(queue.resource.name)
+                and self.detector.suspected(queue.resource.name))
+
+    def breaker_allows(self, site: str) -> bool:
+        return self.breakers.allows(site) if self.breakers is not None else True

@@ -118,6 +118,7 @@ class SpiceCampaign:
         interactive_frames: int = 30,
         seed: SeedLike = 2005,
         obs: Optional[Obs] = None,
+        resil=None,
     ) -> None:
         self.obs = as_obs(obs)
         self.federation = (
@@ -132,6 +133,9 @@ class SpiceCampaign:
         self.samples_per_replica = int(samples_per_replica)
         self.interactive_frames = int(interactive_frames)
         self.seed = as_seed_int(seed)
+        #: Optional :class:`~repro.resil.Resilience` bundle for the batch
+        #: phase (duck-typed; build one with ``Resilience.for_federation``).
+        self.resil = resil
 
     def run(self) -> SpiceCampaignResult:
         with self.obs.span("campaign.static-viz"):
@@ -156,6 +160,7 @@ class SpiceCampaign:
                 window=(-half, half),
                 seed=self.seed,
                 obs=self.obs,
+                resil=self.resil,
             ).run()
         return SpiceCampaignResult(
             structure=structure, interactive=interactive, batch=batch

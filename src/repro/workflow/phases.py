@@ -224,6 +224,7 @@ class BatchPhase:
         steering_required: bool = True,
         seed: int = 2005,
         obs: Optional[Obs] = None,
+        resil=None,
     ) -> None:
         if replicas_per_cell <= 0 or samples_per_replica <= 0:
             raise ConfigurationError("replicas and samples must be positive")
@@ -243,6 +244,9 @@ class BatchPhase:
         self.steering_required = bool(steering_required)
         self.seed = int(seed)
         self.obs = as_obs(obs)
+        #: Optional :class:`~repro.resil.Resilience` bundle handed to the
+        #: campaign manager (duck-typed: workflow never imports repro.resil).
+        self.resil = resil
 
     @property
     def n_jobs(self) -> int:
@@ -288,6 +292,7 @@ class BatchPhase:
         )
         # Infrastructure: schedule the corresponding jobs on the federation.
         jobs = self.build_jobs(protocols)
-        manager = CampaignManager(self.federation, obs=self.obs)
+        manager = CampaignManager(self.federation, obs=self.obs,
+                                  resil=self.resil)
         campaign = manager.run(jobs)
         return BatchPhaseResult(study=study, campaign=campaign, jobs=jobs)

@@ -20,6 +20,18 @@ from repro.smd import PullingProtocol, run_pulling_ensemble
 from repro.units import timestep_fs
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed", type=int, default=2005,
+        help="base seed for chaos-scenario tests (CI sweeps several)",
+    )
+
+
+@pytest.fixture
+def chaos_seed(request):
+    return request.config.getoption("--chaos-seed")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

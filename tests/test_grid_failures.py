@@ -84,3 +84,84 @@ class TestRedundancyScenario:
         report = self.run_campaign(n_uk_sites=2)
         assert report.all_completed
         assert report.makespan_hours < 7 * 24  # far less than the breach
+
+
+class TestInjectorDeterminism:
+    def test_random_failures_identical_under_fixed_seed(self):
+        def build(seed):
+            loop = EventLoop()
+            queues = [
+                BatchQueue(ComputeResource(f"S{i}", "G", 256), loop)
+                for i in range(4)
+            ]
+            inj = FailureInjector(seed=seed)
+            n = inj.random_failures(queues, horizon_hours=2000.0,
+                                    mtbf_hours=300.0)
+            return n, inj.injected
+
+        n_a, injected_a = build(5)
+        n_b, injected_b = build(5)
+        assert n_a == n_b
+        assert injected_a == injected_b
+        assert n_a > 0
+
+    def test_different_seeds_differ(self):
+        def build(seed):
+            loop = EventLoop()
+            q = BatchQueue(ComputeResource("S", "G", 256), loop)
+            inj = FailureInjector(seed=seed)
+            inj.random_failures([q], horizon_hours=5000.0, mtbf_hours=200.0)
+            return inj.injected
+
+        assert build(1) != build(2)
+
+
+class TestChaosFaults:
+    def test_link_flap_schedules_even_hard_cuts(self):
+        from repro.net import QoSSpec, ReliableChannel
+
+        ch = ReliableChannel(QoSSpec(1.0, 0.0, 0.0, 1000.0), seed=0,
+                             name="link")
+        inj = FailureInjector(seed=0)
+        inj.link_flap(ch, at_s=0.0, duration_s=60.0, n_flaps=3)
+        windows = [(w.start_s, w.end_s) for w in ch._faults]
+        assert windows == [(0.0, 10.0), (20.0, 30.0), (40.0, 50.0)]
+        assert inj.injected[-1][3] == "link flap x3"
+
+    def test_loss_burst_recorded(self):
+        from repro.net import QoSSpec, ReliableChannel
+
+        ch = ReliableChannel(QoSSpec(1.0, 0.0, 0.0, 1000.0), seed=0,
+                             name="link")
+        inj = FailureInjector(seed=0)
+        inj.loss_burst(ch, at_s=5.0, duration_s=2.0, loss_rate=0.25)
+        assert ch._faults[0].loss_rate == 0.25
+        assert "loss burst" in inj.injected[-1][3]
+
+    def test_network_partition_registers_on_the_bundle(self):
+        from repro.resil import Resilience
+
+        resil = Resilience()
+        inj = FailureInjector(seed=0)
+        inj.network_partition(resil, "NGS", at_hours=8.0, duration_hours=12.0)
+        assert len(resil.partitions) == 1
+        assert not resil.reachable("NGS", 10.0)
+        assert resil.reachable("NGS", 21.0)
+        assert resil.reachable("TeraGrid", 10.0)
+        with pytest.raises(ConfigurationError):
+            inj.network_partition(resil, "NGS", 0.0, 0.0)
+
+    def test_middleware_faults_recorded(self):
+        from repro.grid import GridMiddleware
+
+        mw = GridMiddleware()
+        inj = FailureInjector(seed=0)
+        inj.middleware_auth_fault(mw, "NCSA", at_hours=1.0,
+                                  duration_hours=2.0)
+        inj.middleware_transfer_fault(mw, "SDSC", at_hours=3.0,
+                                      duration_hours=1.0)
+        assert mw.fault_active("NCSA", "auth", 1.5)
+        assert not mw.fault_active("NCSA", "auth", 3.5)
+        assert mw.fault_active("SDSC", "transfer", 3.5)
+        assert [e[3] for e in inj.injected] == ["auth fault",
+                                                "transfer fault"]

@@ -173,3 +173,75 @@ class TestOutages:
         q, _ = make_queue()
         with pytest.raises(SchedulingError):
             q.schedule_outage(start=0.0, duration=0.0)
+
+
+class TestUtilizationGuards:
+    def test_empty_trace_returns_zero(self):
+        # Regression: the old guard (`a or b and c`) indexed trace[-1]
+        # before checking emptiness and raised IndexError.
+        q, loop = make_queue()
+        q.utilization_trace = []
+        loop.run()
+        assert q.utilization(horizon=10.0) == 0.0
+
+    def test_zero_horizon_returns_zero(self):
+        q, _ = make_queue()
+        assert q.utilization() == 0.0
+        assert q.utilization(horizon=0.0) == 0.0
+
+    def test_single_sample_at_horizon_returns_zero(self):
+        q, _ = make_queue()
+        q.utilization_trace = [(10.0, 50)]
+        assert q.utilization(horizon=10.0) == 0.0
+
+    def test_single_sample_before_horizon_integrates(self):
+        q, _ = make_queue(procs=100)
+        q.utilization_trace = [(0.0, 50)]
+        assert q.utilization(horizon=10.0) == pytest.approx(0.5)
+
+
+class TestOverlappingOutages:
+    def test_first_come_up_does_not_resurrect_inside_second_window(self):
+        # Regression: outage A = [5, 10), outage B = [7, 20).  A's come_up
+        # at t=10 used to reopen the queue inside B's window.
+        q, loop = make_queue()
+        q.schedule_outage(5.0, 5.0)
+        q.schedule_outage(7.0, 13.0)
+        j = Job("late", 50, 1.0)
+        loop.schedule(6.0, lambda: q.submit(j))
+        loop.run()
+        assert j.state is JobState.COMPLETED
+        assert j.start_time >= 20.0
+
+    def test_no_double_kill_on_overlap(self):
+        # A job running when outage A hits must be killed exactly once even
+        # though outage B's go_down fires while the queue is already down.
+        q, loop = make_queue()
+        j = Job("victim", 50, 100.0)
+        q.submit(j)
+        q.schedule_outage(5.0, 5.0)
+        q.schedule_outage(7.0, 13.0)
+        loop.run(until=25.0)
+        assert q.killed.count(j) == 1
+        assert q.procs_in_use == 0  # not driven negative
+
+    def test_contained_overlap_respects_longest_window(self):
+        # B = [6, 8) entirely inside A = [5, 12): B's come_up at 8 must not
+        # reopen the queue before A's end.
+        q, loop = make_queue()
+        q.schedule_outage(5.0, 7.0)
+        q.schedule_outage(6.0, 2.0)
+        j = Job("late", 50, 1.0)
+        loop.schedule(6.5, lambda: q.submit(j))
+        loop.run()
+        assert j.start_time >= 12.0
+
+    def test_disjoint_outages_unaffected(self):
+        q, loop = make_queue()
+        q.schedule_outage(2.0, 2.0)
+        q.schedule_outage(10.0, 2.0)
+        j = Job("between", 50, 1.0)
+        loop.schedule(5.0, lambda: q.submit(j))
+        loop.run()
+        assert j.start_time == pytest.approx(5.0)
+        assert j.state is JobState.COMPLETED

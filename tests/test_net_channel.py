@@ -69,3 +69,85 @@ class TestReliableChannel:
         for i in range(200):
             ch.transmit(float(i))
         assert ch.stats.loss_recoveries > 30
+
+
+class TestRetryPolicyIntegration:
+    def test_custom_policy_exhaustion_is_typed(self):
+        from repro.errors import RetryExhausted
+        from repro.resil import RetryPolicy
+
+        ch = ReliableChannel(QoSSpec(1.0, 0.0, 0.0, 100.0), seed=4,
+                             retry=RetryPolicy(max_attempts=3))
+        ch.inject_fault(0.0, 1e9)  # hard cut, loss_rate=1.0
+        with pytest.raises(RetryExhausted) as ei:
+            ch.transmit(0.0, 100)
+        assert ei.value.attempts == 3
+        assert ei.value.operation == "net.channel"
+        assert ch.stats.exhausted == 1
+
+    def test_retry_exhausted_still_catchable_as_network_error(self):
+        from repro.resil import RetryPolicy
+
+        ch = ReliableChannel(QoSSpec(1.0, 0.0, 0.0, 100.0), seed=4,
+                             retry=RetryPolicy(max_attempts=2))
+        ch.inject_fault(0.0, 1e9)
+        with pytest.raises(NetworkError):
+            ch.transmit(0.0, 100)
+
+    def test_explicit_default_policy_is_bit_identical(self):
+        from repro.resil import DEFAULT_CHANNEL_RETRY
+
+        a = ReliableChannel(QoSSpec(10.0, 5.0, 0.3, 1000.0), seed=11)
+        b = ReliableChannel(QoSSpec(10.0, 5.0, 0.3, 1000.0), seed=11,
+                            retry=DEFAULT_CHANNEL_RETRY)
+        for i in range(100):
+            ra = a.transmit(float(i), 512)
+            rb = b.transmit(float(i), 512)
+            assert ra.arrival_time == rb.arrival_time
+            assert ra.attempts == rb.attempts
+
+
+class TestLinkFaultWindows:
+    def test_hard_cut_blocks_only_inside_the_window(self):
+        from repro.errors import RetryExhausted
+        from repro.resil import RetryPolicy
+
+        qos = QoSSpec(1.0, 0.0, 0.0, 1000.0)  # lossless link
+        ch = ReliableChannel(qos, seed=0, retry=RetryPolicy(max_attempts=3))
+        ch.inject_fault(10.0, 5.0)
+        assert ch.transmit(0.0, 100).attempts == 1
+        with pytest.raises(RetryExhausted):
+            ch.transmit(11.0, 100)
+        assert ch.transmit(20.0, 100).attempts == 1
+
+    def test_backoff_can_escape_a_short_window(self):
+        qos = QoSSpec(100.0, 0.0, 0.0, 1000.0)  # rto = 0.3 s, doubling
+        ch = ReliableChannel(qos, seed=0)
+        ch.inject_fault(0.0, 1.0)
+        r = ch.transmit(0.0, 100)
+        # Retransmissions walked out of the one-second cut.
+        assert r.attempts > 1
+        assert r.arrival_time > 1.0
+
+    def test_partial_loss_and_extra_latency(self):
+        qos = QoSSpec(1.0, 0.0, 0.0, 1000.0)
+        ch = ReliableChannel(qos, seed=5)
+        ch.inject_fault(0.0, 1e9, loss_rate=0.5, extra_latency_ms=100.0)
+        results = [ch.transmit(float(i), 100) for i in range(50)]
+        assert any(r.attempts > 1 for r in results)  # fault loss bites
+        assert all(r.delay >= 0.1 for r in results)  # rerouting latency
+
+    def test_fault_window_validation(self):
+        ch = ReliableChannel(QoSSpec(1.0, 0.0, 0.0, 100.0), seed=0)
+        with pytest.raises(ConfigurationError):
+            ch.inject_fault(0.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            ch.inject_fault(0.0, 1.0, loss_rate=0.0)
+
+    def test_clean_channel_unaffected_by_module_import(self):
+        # No faults injected: stats and behaviour match the historical
+        # channel (the exhausted counter exists but stays zero).
+        ch = ReliableChannel(PRODUCTION_INTERNET, seed=3)
+        for i in range(50):
+            ch.transmit(float(i), 2048)
+        assert ch.stats.exhausted == 0
