@@ -10,6 +10,7 @@ Thin wrappers over the library for the common entry points:
 * ``qos`` — the IMD network-QoS table;
 * ``ti`` — thermodynamic-integration PMF over the window;
 * ``production`` — the stitched full-axis PMF;
+* ``bench`` — the performance benchmark suite (writes BENCH_*.json);
 * ``chaos`` — a named fault scenario run against the resilient campaign.
 
 Commands are rows of a declarative table (:data:`COMMANDS`); each row
@@ -293,6 +294,55 @@ def cmd_production(args) -> CommandResult:
     })
 
 
+def cmd_bench(args) -> CommandResult:
+    import os
+
+    from .obs import Obs
+    from .perf import (
+        run_ensemble_benchmark,
+        run_kernel_benchmark,
+        write_bench_document,
+    )
+
+    kernels = run_kernel_benchmark(quick=args.quick, seed=args.seed,
+                                   obs=Obs())
+    ensemble = run_ensemble_benchmark(quick=args.quick, seed=args.seed,
+                                      n_workers=args.workers, obs=Obs())
+    kernels_path = os.path.join(args.out_dir, "BENCH_kernels.json")
+    ensemble_path = os.path.join(args.out_dir, "BENCH_ensemble.json")
+    # write_bench_document validates first: malformed output is exit code 1,
+    # not a silently-written file.
+    write_bench_document(kernels_path, kernels)
+    write_bench_document(ensemble_path, ensemble)
+
+    sr = kernels["step_rate"]
+    nr = kernels["neighbor_rebuild"]
+    lines = [
+        f"kernel step rate ({kernels['system']['n_particles']} particles):",
+        f"  reference   {sr['reference']['steps_per_s']:10.1f} steps/s",
+        f"  vectorized  {sr['vectorized']['steps_per_s']:10.1f} steps/s"
+        f"   ({sr['speedup']:.1f}x)",
+        f"neighbor rebuild ({nr['candidate_pairs']} pairs):",
+        f"  reference   {1e3 * nr['reference']['build_s']:10.2f} ms",
+        f"  vectorized  {1e3 * nr['vectorized']['build_s']:10.2f} ms"
+        f"   ({nr['speedup']:.1f}x)",
+        f"ensemble ({ensemble['workload']['n_samples']} pulls, "
+        f"{ensemble['n_workers']} workers):",
+        f"  serial      {ensemble['serial_wall_s']:10.2f} s",
+        f"  parallel    {ensemble['parallel_wall_s']:10.2f} s"
+        f"   ({ensemble['speedup']:.2f}x, deterministic: "
+        f"{ensemble['deterministic']})",
+        f"wrote {kernels_path} and {ensemble_path}",
+    ]
+    return CommandResult("\n".join(lines), {
+        "command": "bench",
+        "seed": args.seed,
+        "quick": args.quick,
+        "kernels": kernels,
+        "ensemble": ensemble,
+    })
+
+
 def cmd_chaos(args) -> CommandResult:
     from .obs import Obs
     from .resil import SCENARIOS, render_chaos_report, run_chaos_scenario
@@ -355,6 +405,20 @@ COMMANDS: Dict[str, CommandSpec] = {
                 _arg("--samples", type=int, default=24),
                 _arg("--z-min", type=float, default=-30.0),
                 _arg("--z-max", type=float, default=30.0),
+            ),
+        ),
+        CommandSpec(
+            "bench", "performance benchmarks, writes BENCH_*.json",
+            cmd_bench,
+            args=(
+                _arg("--quick", action="store_true",
+                     help="CI smoke scale (smaller system, fewer steps)"),
+                _arg("--out-dir", default=".",
+                     help="directory for BENCH_kernels.json / "
+                          "BENCH_ensemble.json"),
+                _arg("--workers", type=int, default=None,
+                     help="ensemble worker count "
+                          "(default: min(4, cpu_count))"),
             ),
         ),
         CommandSpec(

@@ -23,6 +23,7 @@ from .external import (
     ConstantForce,
     SteeringForce,
 )
+from .kernels import KERNELS, accumulate_pair_forces, scatter_add, validate_kernel
 from .neighborlist import NeighborList
 from .integrators import VelocityVerlet, LangevinBAOAB, BrownianDynamics
 from .trajectory import Frame, Trajectory, ObservableRecorder
@@ -47,6 +48,10 @@ __all__ = [
     "FlatBottomRestraintForce",
     "ConstantForce",
     "SteeringForce",
+    "KERNELS",
+    "validate_kernel",
+    "scatter_add",
+    "accumulate_pair_forces",
     "NeighborList",
     "VelocityVerlet",
     "LangevinBAOAB",

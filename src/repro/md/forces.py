@@ -5,17 +5,21 @@ Every force term implements :class:`Force`: given the live position array it
 potential energy.  Accumulation (rather than returning fresh arrays) keeps
 the per-step allocation count constant, per the hpc-parallel guides.
 
-Bonded terms are fully vectorized with ``np.add.at`` scatter-adds — there are
-no Python-level per-bond loops.
+Bonded terms come in two selectable kernels (see :mod:`repro.md.kernels`):
+the default ``"vectorized"`` kernel evaluates all bonds/angles as one batch
+with bincount scatter-adds, the ``"reference"`` kernel walks them one at a
+time in plain Python as the correctness oracle.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Protocol
 
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
+from .kernels import accumulate_pair_forces, scatter_add, validate_kernel
 from .topology import Topology
 
 __all__ = ["Force", "HarmonicBondForce", "FENEBondForce", "HarmonicAngleForce"]
@@ -34,19 +38,24 @@ class HarmonicBondForce:
     """Harmonic bonds: ``U = 0.5 k (r - r0)^2`` per bond.
 
     Bond indices and per-bond ``(k, r0)`` come from a :class:`Topology`.
+    ``kernel`` selects the batched (``"vectorized"``) or per-bond Python
+    loop (``"reference"``) implementation.
     """
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(self, topology: Topology, kernel: str = "vectorized") -> None:
         self._i = topology.bonds[:, 0]
         self._j = topology.bonds[:, 1]
         self._k = topology.bond_params[:, 0]
         self._r0 = topology.bond_params[:, 1]
+        self.kernel = validate_kernel(kernel)
         if np.any(self._k < 0.0):
             raise ConfigurationError("bond stiffness must be non-negative")
 
     def compute(self, positions: np.ndarray, forces: np.ndarray) -> float:
         if self._i.size == 0:
             return 0.0
+        if self.kernel == "reference":
+            return self._compute_reference(positions, forces)
         dr = positions[self._j] - positions[self._i]
         r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
         stretch = r - self._r0
@@ -55,8 +64,23 @@ class HarmonicBondForce:
         with np.errstate(invalid="ignore", divide="ignore"):
             scale = np.where(r > 0.0, -self._k * stretch / r, 0.0)
         fij = dr * scale[:, None]
-        np.add.at(forces, self._j, fij)
-        np.add.at(forces, self._i, -fij)
+        accumulate_pair_forces(forces, self._i, self._j, fij)
+        return energy
+
+    def _compute_reference(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        """One bond at a time (oracle)."""
+        energy = 0.0
+        for b in range(self._i.size):
+            i, j = int(self._i[b]), int(self._j[b])
+            dr = positions[j] - positions[i]
+            r = math.sqrt(float(dr @ dr))
+            stretch = r - float(self._r0[b])
+            k = float(self._k[b])
+            energy += 0.5 * k * stretch * stretch
+            scale = -k * stretch / r if r > 0.0 else 0.0
+            fij = dr * scale
+            forces[j] += fij
+            forces[i] -= fij
         return energy
 
     def bond_lengths(self, positions: np.ndarray) -> np.ndarray:
@@ -74,19 +98,23 @@ class FENEBondForce:
     constriction (paper Fig. 3) without breaking.
 
     Per-bond parameters from the topology are interpreted as ``(k, rmax)``.
+    ``kernel`` selects the batched or per-bond implementation.
     """
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(self, topology: Topology, kernel: str = "vectorized") -> None:
         self._i = topology.bonds[:, 0]
         self._j = topology.bonds[:, 1]
         self._k = topology.bond_params[:, 0]
         self._rmax = topology.bond_params[:, 1]
+        self.kernel = validate_kernel(kernel)
         if np.any(self._rmax <= 0.0):
             raise ConfigurationError("FENE rmax must be positive")
 
     def compute(self, positions: np.ndarray, forces: np.ndarray) -> float:
         if self._i.size == 0:
             return 0.0
+        if self.kernel == "reference":
+            return self._compute_reference(positions, forces)
         dr = positions[self._j] - positions[self._i]
         r2 = np.einsum("ij,ij->i", dr, dr)
         x = r2 / self._rmax**2
@@ -96,8 +124,28 @@ class FENEBondForce:
         # F_j = -k r / (1 - x) * unit(dr)  ->  coefficient on dr is -k/(1-x).
         coeff = -self._k / (1.0 - x)
         fij = dr * coeff[:, None]
-        np.add.at(forces, self._j, fij)
-        np.add.at(forces, self._i, -fij)
+        accumulate_pair_forces(forces, self._i, self._j, fij)
+        return energy
+
+    def _compute_reference(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        """One bond at a time (oracle)."""
+        energy = 0.0
+        for b in range(self._i.size):
+            i, j = int(self._i[b]), int(self._j[b])
+            dr = positions[j] - positions[i]
+            r2 = float(dr @ dr)
+            rmax = float(self._rmax[b])
+            k = float(self._k[b])
+            x = r2 / (rmax * rmax)
+            if x >= 1.0:
+                raise SimulationError(
+                    "FENE bond stretched beyond rmax (system exploded)"
+                )
+            energy += -0.5 * k * rmax * rmax * math.log1p(-x)
+            coeff = -k / (1.0 - x)
+            fij = dr * coeff
+            forces[j] += fij
+            forces[i] -= fij
         return energy
 
 
@@ -105,18 +153,22 @@ class HarmonicAngleForce:
     """Harmonic angle bending: ``U = 0.5 k (theta - theta0)^2``.
 
     Provides chain stiffness (persistence length) for the CG ssDNA.
+    ``kernel`` selects the batched or per-angle implementation.
     """
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(self, topology: Topology, kernel: str = "vectorized") -> None:
         self._i = topology.angles[:, 0]
         self._j = topology.angles[:, 1]
         self._k = topology.angles[:, 2]
         self._kt = topology.angle_params[:, 0]
         self._t0 = topology.angle_params[:, 1]
+        self.kernel = validate_kernel(kernel)
 
     def compute(self, positions: np.ndarray, forces: np.ndarray) -> float:
         if self._i.size == 0:
             return 0.0
+        if self.kernel == "reference":
+            return self._compute_reference(positions, forces)
         rij = positions[self._i] - positions[self._j]
         rkj = positions[self._k] - positions[self._j]
         nij = np.sqrt(np.einsum("ij,ij->i", rij, rij))
@@ -137,7 +189,33 @@ class HarmonicAngleForce:
         uk = rkj / nkj[:, None]
         fi = (dU / (nij * sin_t))[:, None] * (uk - cos_t[:, None] * ui)
         fk = (dU / (nkj * sin_t))[:, None] * (ui - cos_t[:, None] * uk)
-        np.add.at(forces, self._i, fi)
-        np.add.at(forces, self._k, fk)
-        np.add.at(forces, self._j, -(fi + fk))
+        scatter_add(forces, self._i, fi)
+        scatter_add(forces, self._k, fk)
+        scatter_add(forces, self._j, -(fi + fk))
+        return energy
+
+    def _compute_reference(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        """One angle at a time (oracle)."""
+        energy = 0.0
+        for a in range(self._i.size):
+            i, j, k = int(self._i[a]), int(self._j[a]), int(self._k[a])
+            rij = positions[i] - positions[j]
+            rkj = positions[k] - positions[j]
+            nij = math.sqrt(float(rij @ rij))
+            nkj = math.sqrt(float(rkj @ rkj))
+            cos_t = float(rij @ rkj) / (nij * nkj)
+            cos_t = min(1.0, max(-1.0, cos_t))
+            theta = math.acos(cos_t)
+            dtheta = theta - float(self._t0[a])
+            kt = float(self._kt[a])
+            energy += 0.5 * kt * dtheta * dtheta
+            sin_t = math.sqrt(max(1.0 - cos_t * cos_t, 1e-12))
+            dU = kt * dtheta
+            ui = rij / nij
+            uk = rkj / nkj
+            fi = (dU / (nij * sin_t)) * (uk - cos_t * ui)
+            fk = (dU / (nkj * sin_t)) * (ui - cos_t * uk)
+            forces[i] += fi
+            forces[k] += fk
+            forces[j] -= fi + fk
         return energy

@@ -5,6 +5,17 @@ list is only reconstructed once some particle has moved more than half the
 skin distance, the standard Verlet-skin criterion.  Pair search uses a hashed
 cell list (``O(n)``) rather than the ``O(n^2)`` direct double loop, although a
 direct fallback is kept for tiny systems where cells cost more than they save.
+
+Two cell-search kernels are available (see :mod:`repro.md.kernels`):
+
+* ``"vectorized"`` (default) — loop-free enumeration: particles are sorted
+  by cell key once, then all intra-cell and forward-neighbor-cell pairs are
+  generated with ragged ``arange``/``repeat`` arithmetic over a constant
+  14-entry stencil.  No per-cell Python loop.
+* ``"reference"`` — the original dict-of-cells implementation, one Python
+  iteration per occupied cell.  Kept as the correctness oracle; both
+  kernels return *identical* pair arrays (the final sorted-unique pair-key
+  dedup fixes the ordering), so the switch is bit-for-bit.
 """
 
 from __future__ import annotations
@@ -14,11 +25,22 @@ from typing import Optional, Set, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from .kernels import validate_kernel
 
 __all__ = ["NeighborList"]
 
 # Below this size the O(n^2) direct pair enumeration beats building cells.
 _DIRECT_THRESHOLD = 64
+
+#: The 13 strictly-forward neighbor offsets of the 27-cell stencil, in the
+#: lexicographic order (dx, dy, dz) > (0, 0, 0).
+_FORWARD_STENCIL: Tuple[Tuple[int, int, int], ...] = tuple(
+    (dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+    if (dx, dy, dz) > (0, 0, 0)
+)
 
 
 class NeighborList:
@@ -41,11 +63,13 @@ class NeighborList:
         skin: float = 1.0,
         exclusions: Optional[Set[Tuple[int, int]]] = None,
         box: Optional[np.ndarray] = None,
+        kernel: str = "vectorized",
     ) -> None:
         if cutoff <= 0.0:
             raise ConfigurationError(f"cutoff must be positive, got {cutoff}")
         if skin < 0.0:
             raise ConfigurationError(f"skin must be non-negative, got {skin}")
+        self.kernel = validate_kernel(kernel)
         self.cutoff = float(cutoff)
         self.skin = float(skin)
         self._reach = self.cutoff + self.skin
@@ -65,6 +89,7 @@ class NeighborList:
         self._pairs_j: Optional[np.ndarray] = None
         self._ref_positions: Optional[np.ndarray] = None
         self.n_builds = 0  # instrumentation for tests/benchmarks
+        self.last_pair_count = 0  # candidate pairs at the last build
 
     # -- public API ----------------------------------------------------------
 
@@ -116,8 +141,10 @@ class NeighborList:
             dr = positions[j] - positions[i]
             within = np.einsum("ij,ij->i", dr, dr) <= self._reach**2
             i, j = i[within], j[within]
+        elif self.kernel == "vectorized":
+            i, j = self._cell_pairs_vectorized(positions)
         else:
-            i, j = self._cell_pairs(positions)
+            i, j = self._cell_pairs_reference(positions)
         if self._exclusions:
             keep = np.fromiter(
                 ((int(a), int(b)) not in self._exclusions for a, b in zip(i, j)),
@@ -129,9 +156,95 @@ class NeighborList:
         self._pairs_j = np.ascontiguousarray(j, dtype=np.intp)
         self._ref_positions = positions.copy()
         self.n_builds += 1
+        self.last_pair_count = int(self._pairs_i.size)
 
-    def _cell_pairs(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Hashed cell list pair enumeration (open boundaries)."""
+    def _cell_pairs_vectorized(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Loop-free cell-list pair enumeration (open boundaries).
+
+        Particles are binned once, sorted by linear cell key, and all pairs
+        are generated with ragged ``repeat``/``arange`` arithmetic: intra-cell
+        pairs from each particle to the later slots of its own cell, and
+        inter-cell pairs as block cross-products against the 13 forward
+        stencil cells (matched by 3-D coordinates, so there is no key
+        aliasing at the grid boundary).  The only Python-level loop is the
+        constant 13-entry stencil.
+        """
+        n = positions.shape[0]
+        reach = self._reach
+        lo = positions.min(axis=0)
+        cell = np.floor((positions - lo) / reach).astype(np.int64)
+        dims = cell.max(axis=0) + 1
+        key = (cell[:, 0] * dims[1] + cell[:, 1]) * dims[2] + cell[:, 2]
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        # Unique occupied cells: sorted keys, slice starts and occupancies.
+        ukey, starts, counts = np.unique(
+            sorted_key, return_index=True, return_counts=True
+        )
+        ucoord = cell[order[starts]]  # (ncells, 3) coordinates per unique cell
+
+        out_i: list[np.ndarray] = []
+        out_j: list[np.ndarray] = []
+
+        # Intra-cell pairs: sorted slot s pairs with every later slot of its
+        # own cell.  m[s] partners each, ragged-arange to enumerate them.
+        cell_of_slot = np.repeat(np.arange(ukey.size), counts)
+        slot = np.arange(n)
+        m = (starts + counts)[cell_of_slot] - slot - 1
+        total = int(m.sum())
+        if total:
+            gi = np.repeat(slot, m)
+            offset = np.arange(total) - np.repeat(np.cumsum(m) - m, m)
+            gj = gi + 1 + offset
+            out_i.append(order[gi])
+            out_j.append(order[gj])
+
+        # Inter-cell pairs: for each forward stencil offset, match occupied
+        # cells to their (coordinate-valid) neighbor cells, then emit the
+        # full cross product of the two member blocks.
+        for dx, dy, dz in _FORWARD_STENCIL:
+            nc = ucoord + (dx, dy, dz)
+            valid = np.all((nc >= 0) & (nc < dims), axis=1)
+            if not np.any(valid):
+                continue
+            src = np.flatnonzero(valid)
+            nk = (nc[src, 0] * dims[1] + nc[src, 1]) * dims[2] + nc[src, 2]
+            pos = np.searchsorted(ukey, nk)
+            hit = (pos < ukey.size) & (ukey[np.minimum(pos, ukey.size - 1)] == nk)
+            if not np.any(hit):
+                continue
+            a, b = src[hit], pos[hit]  # unique-cell indices: a -> b
+            rep = counts[a] * counts[b]
+            total = int(rep.sum())
+            t = np.arange(total) - np.repeat(np.cumsum(rep) - rep, rep)
+            bcnt = np.repeat(counts[b], rep)
+            ai = np.repeat(starts[a], rep) + t // bcnt
+            bj = np.repeat(starts[b], rep) + t % bcnt
+            out_i.append(order[ai])
+            out_j.append(order[bj])
+
+        if not out_i:
+            return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp)
+        i = np.concatenate(out_i)
+        j = np.concatenate(out_j)
+        i2 = np.minimum(i, j)
+        j2 = np.maximum(i, j)
+        dr = positions[j2] - positions[i2]
+        within = np.einsum("ij,ij->i", dr, dr) <= reach**2
+        i2, j2 = i2[within], j2[within]
+        # Sorted-unique pair keys: same dedup/ordering as the reference
+        # kernel, so both kernels return identical arrays.
+        nn = np.int64(n)
+        pair_key = np.unique(i2.astype(np.int64) * nn + j2.astype(np.int64))
+        return (pair_key // nn).astype(np.intp), (pair_key % nn).astype(np.intp)
+
+    def _cell_pairs_reference(
+        self, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hashed cell list pair enumeration (open boundaries), one Python
+        iteration per occupied cell — the oracle for the vectorized kernel."""
         reach = self._reach
         lo = positions.min(axis=0)
         cell_idx = np.floor((positions - lo) / reach).astype(np.int64)

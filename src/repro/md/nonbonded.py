@@ -1,9 +1,15 @@
 """Nonbonded force terms: Lennard-Jones / WCA excluded volume and
 Debye-Hueckel screened electrostatics.
 
-Both terms share a :class:`~repro.md.neighborlist.NeighborList`; pair forces
-are evaluated fully vectorized over the candidate pair arrays and scattered
-back with ``np.add.at``.
+Both terms share a :class:`~repro.md.neighborlist.NeighborList` and come in
+two selectable kernels (see :mod:`repro.md.kernels`): the default
+``"vectorized"`` kernel evaluates the whole candidate pair array in batched
+NumPy and scatters per-particle forces with the bincount-based
+:func:`~repro.md.kernels.accumulate_pair_forces`; the ``"reference"``
+kernel walks the same pair array one pair at a time in plain Python — the
+correctness oracle the equivalence tests and ``python -m repro bench``
+compare against.  The kernel choice propagates to the neighbor list, so
+``kernel="reference"`` is reference end-to-end.
 
 The Debye-Hueckel term stands in for the explicit water + ions of the
 paper's all-atom system: at physiological (1 M KCl, the standard hemolysin
@@ -13,11 +19,13 @@ Coulomb with a short cutoff captures the relevant DNA-pore electrostatics.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Set, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from .kernels import accumulate_pair_forces, validate_kernel
 from .neighborlist import NeighborList
 
 __all__ = ["LennardJonesForce", "WCAForce", "DebyeHuckelForce", "COULOMB_CONSTANT"]
@@ -43,6 +51,9 @@ class LennardJonesForce:
         Interaction cutoff in A.
     exclusions:
         Bonded pairs to skip.
+    kernel:
+        ``"vectorized"`` (default) or ``"reference"``; see
+        :mod:`repro.md.kernels`.
     """
 
     def __init__(
@@ -54,6 +65,7 @@ class LennardJonesForce:
         skin: float = 1.0,
         exclusions: Optional[Set[Tuple[int, int]]] = None,
         box: Optional[np.ndarray] = None,
+        kernel: str = "vectorized",
     ) -> None:
         eps = np.asarray(epsilon, dtype=np.float64)
         sig = np.asarray(sigma, dtype=np.float64)
@@ -64,6 +76,7 @@ class LennardJonesForce:
         t = np.asarray(types, dtype=np.int64)
         if t.max(initial=0) >= eps.shape[0]:
             raise ConfigurationError("particle type exceeds parameter table")
+        self.kernel = validate_kernel(kernel)
         # Precompute combined pair tables (Lorentz-Berthelot).
         self._eps_table = np.sqrt(eps[:, None] * eps[None, :])
         self._sig_table = 0.5 * (sig[:, None] + sig[None, :])
@@ -71,12 +84,15 @@ class LennardJonesForce:
         self.cutoff = float(cutoff)
         self._cut2 = self.cutoff**2
         self.neighbor_list = NeighborList(cutoff, skin=skin,
-                                          exclusions=exclusions, box=box)
+                                          exclusions=exclusions, box=box,
+                                          kernel=kernel)
         # Per-pair-type energy shift at the cutoff (continuity).
         sr6 = (self._sig_table / self.cutoff) ** 6
         self._shift_table = 4.0 * self._eps_table * (sr6**2 - sr6)
 
     def compute(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        if self.kernel == "reference":
+            return self._compute_reference(positions, forces)
         i, j = self.neighbor_list.pairs(positions)
         if i.size == 0:
             return 0.0
@@ -97,8 +113,29 @@ class LennardJonesForce:
         # |F| * r = 24 eps (2 sr12 - sr6); divide by r^2 for dr coefficient.
         coeff = 24.0 * eps * (2.0 * sr12 - sr6) * inv_r2
         fij = dr * coeff[:, None]
-        np.add.at(forces, j, fij)
-        np.add.at(forces, i, -fij)
+        accumulate_pair_forces(forces, i, j, fij)
+        return energy
+
+    def _compute_reference(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        """Per-pair Python loop over the same candidate pairs (oracle)."""
+        pi, pj = self.neighbor_list.pairs(positions)
+        energy = 0.0
+        for i, j in zip(pi.tolist(), pj.tolist()):
+            dr = self.neighbor_list.minimum_image(positions[j] - positions[i])
+            r2 = float(dr @ dr)
+            if r2 >= self._cut2:
+                continue
+            ti, tj = self._types[i], self._types[j]
+            eps = float(self._eps_table[ti, tj])
+            sig = float(self._sig_table[ti, tj])
+            sr2 = sig * sig / r2
+            sr6 = sr2 * sr2 * sr2
+            sr12 = sr6 * sr6
+            energy += 4.0 * eps * (sr12 - sr6) - float(self._shift_table[ti, tj])
+            coeff = 24.0 * eps * (2.0 * sr12 - sr6) / r2
+            fij = dr * coeff
+            forces[j] += fij
+            forces[i] -= fij
         return energy
 
 
@@ -119,15 +156,18 @@ class WCAForce(LennardJonesForce):
         skin: float = 1.0,
         exclusions: Optional[Set[Tuple[int, int]]] = None,
         box: Optional[np.ndarray] = None,
+        kernel: str = "vectorized",
     ) -> None:
         sig = np.asarray(sigma, dtype=np.float64)
         cutoff = float(2.0 ** (1.0 / 6.0) * sig.max())
         super().__init__(types, epsilon, sigma, cutoff, skin=skin,
-                         exclusions=exclusions, box=box)
+                         exclusions=exclusions, box=box, kernel=kernel)
         # WCA: per-pair cutoff at 2^(1/6) sigma_ij and shift +eps_ij.
         self._wca_cut2 = (2.0 ** (1.0 / 3.0)) * self._sig_table**2
 
     def compute(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        if self.kernel == "reference":
+            return self._compute_reference(positions, forces)
         i, j = self.neighbor_list.pairs(positions)
         if i.size == 0:
             return 0.0
@@ -148,8 +188,29 @@ class WCAForce(LennardJonesForce):
         energy = float(np.sum(4.0 * eps * (sr12 - sr6) + eps))
         coeff = 24.0 * eps * (2.0 * sr12 - sr6) * inv_r2
         fij = dr * coeff[:, None]
-        np.add.at(forces, j, fij)
-        np.add.at(forces, i, -fij)
+        accumulate_pair_forces(forces, i, j, fij)
+        return energy
+
+    def _compute_reference(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        """Per-pair Python loop with the WCA per-pair cutoff (oracle)."""
+        pi, pj = self.neighbor_list.pairs(positions)
+        energy = 0.0
+        for i, j in zip(pi.tolist(), pj.tolist()):
+            dr = self.neighbor_list.minimum_image(positions[j] - positions[i])
+            r2 = float(dr @ dr)
+            ti, tj = self._types[i], self._types[j]
+            if r2 >= float(self._wca_cut2[ti, tj]):
+                continue
+            eps = float(self._eps_table[ti, tj])
+            sig = float(self._sig_table[ti, tj])
+            sr2 = sig * sig / r2
+            sr6 = sr2 * sr2 * sr2
+            sr12 = sr6 * sr6
+            energy += 4.0 * eps * (sr12 - sr6) + eps
+            coeff = 24.0 * eps * (2.0 * sr12 - sr6) / r2
+            fij = dr * coeff
+            forces[j] += fij
+            forces[i] -= fij
         return energy
 
 
@@ -167,6 +228,9 @@ class DebyeHuckelForce:
     cutoff:
         Cutoff in A; energies are truncated (exp screening makes the
         discontinuity negligible beyond a few Debye lengths).
+    kernel:
+        ``"vectorized"`` (default) or ``"reference"``; see
+        :mod:`repro.md.kernels`.
     """
 
     def __init__(
@@ -178,18 +242,23 @@ class DebyeHuckelForce:
         skin: float = 1.0,
         exclusions: Optional[Set[Tuple[int, int]]] = None,
         box: Optional[np.ndarray] = None,
+        kernel: str = "vectorized",
     ) -> None:
         if debye_length <= 0.0 or dielectric <= 0.0:
             raise ConfigurationError("debye_length and dielectric must be positive")
+        self.kernel = validate_kernel(kernel)
         self._q = np.asarray(charges, dtype=np.float64)
         self._kappa = 1.0 / float(debye_length)
         self._prefactor = COULOMB_CONSTANT / float(dielectric)
         self.cutoff = float(cutoff)
         self._cut2 = self.cutoff**2
         self.neighbor_list = NeighborList(cutoff, skin=skin,
-                                          exclusions=exclusions, box=box)
+                                          exclusions=exclusions, box=box,
+                                          kernel=kernel)
 
     def compute(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        if self.kernel == "reference":
+            return self._compute_reference(positions, forces)
         i, j = self.neighbor_list.pairs(positions)
         if i.size == 0:
             return 0.0
@@ -210,6 +279,26 @@ class DebyeHuckelForce:
         # F_j = u * (1/r + kappa) * unit(dr) ... sign: repulsive for like charges.
         coeff = u * (1.0 / r + self._kappa) / r
         fij = dr * coeff[:, None]
-        np.add.at(forces, j, fij)
-        np.add.at(forces, i, -fij)
+        accumulate_pair_forces(forces, i, j, fij)
+        return energy
+
+    def _compute_reference(self, positions: np.ndarray, forces: np.ndarray) -> float:
+        """Per-pair Python loop over the same candidate pairs (oracle)."""
+        pi, pj = self.neighbor_list.pairs(positions)
+        energy = 0.0
+        for i, j in zip(pi.tolist(), pj.tolist()):
+            qq = float(self._q[i] * self._q[j])
+            if qq == 0.0:
+                continue
+            dr = self.neighbor_list.minimum_image(positions[j] - positions[i])
+            r2 = float(dr @ dr)
+            if r2 >= self._cut2:
+                continue
+            r = math.sqrt(r2)
+            u = self._prefactor * qq * math.exp(-self._kappa * r) / r
+            energy += u
+            coeff = u * (1.0 / r + self._kappa) / r
+            fij = dr * coeff
+            forces[j] += fij
+            forces[i] -= fij
         return energy

@@ -59,6 +59,7 @@ def render_json(obj: Any, indent: Optional[int] = 2) -> str:
 
 
 def write_json(obj: Any, path: str, indent: Optional[int] = 2) -> None:
+    """Serialize ``obj`` (via :func:`jsonable`) to a file, newline-terminated."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(render_json(obj, indent=indent))
         fh.write("\n")

@@ -47,19 +47,24 @@ class Obs:
     # Thin conveniences so call sites read as one line.
 
     def span(self, name: str, *, clock: Optional[Clock] = None, **attrs: Any):
+        """Context manager timing a named span (see :meth:`Tracer.span`)."""
         return self.tracer.span(name, clock=clock, **attrs)
 
     def event(self, name: str, *, clock: Optional[Clock] = None,
               **attrs: Any) -> SpanRecord:
+        """Record an instantaneous event (a zero-duration span)."""
         return self.tracer.event(name, clock=clock, **attrs)
 
     def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter ``name`` by ``amount``."""
         self.metrics.inc(name, amount)
 
     def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
         self.metrics.set_gauge(name, value)
 
     def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
         self.metrics.observe(name, value)
 
 

@@ -44,6 +44,7 @@ class Counter:
         self.value: float = 0.0
 
     def inc(self, amount: Number = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the running total."""
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc {amount})"
@@ -51,6 +52,7 @@ class Counter:
         self.value += float(amount)
 
     def as_dict(self) -> dict:
+        """JSON-ready view: ``{"value": total}``."""
         return {"value": self.value}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -58,7 +60,7 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins level."""
+    """Last-write-wins level (per-site utilization, clock readings)."""
 
     kind = "gauge"
 
@@ -67,9 +69,11 @@ class Gauge:
         self.value: float = 0.0
 
     def set(self, value: Number) -> None:
+        """Overwrite the level with ``value``."""
         self.value = float(value)
 
     def as_dict(self) -> dict:
+        """JSON-ready view: ``{"value": level}``."""
         return {"value": self.value}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -86,6 +90,7 @@ class Histogram:
         self.values: List[float] = []
 
     def observe(self, value: Number) -> None:
+        """Record one sample (kept exactly; no bucketing)."""
         self.values.append(float(value))
 
     @property
@@ -127,6 +132,7 @@ class Histogram:
         }
 
     def as_dict(self) -> dict:
+        """JSON-ready view; alias of :meth:`summary`."""
         return self.summary()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -160,31 +166,39 @@ class MetricsRegistry:
         return inst
 
     def counter(self, name: str) -> Counter:
+        """Get or create the :class:`Counter` named ``name``."""
         return self._get(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
+        """Get or create the :class:`Gauge` named ``name``."""
         return self._get(name, Gauge)
 
     def histogram(self, name: str) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name``."""
         return self._get(name, Histogram)
 
     # -- conveniences for one-shot call sites --------------------------------
 
     def inc(self, name: str, amount: Number = 1.0) -> None:
+        """Increment the counter ``name`` by ``amount`` (creating it)."""
         self.counter(name).inc(amount)
 
     def set_gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` to ``value`` (creating it)."""
         self.gauge(name).set(value)
 
     def observe(self, name: str, value: Number) -> None:
+        """Record ``value`` into the histogram ``name`` (creating it)."""
         self.histogram(name).observe(value)
 
     # -- introspection -------------------------------------------------------
 
     def names(self) -> List[str]:
+        """All registered metric names, sorted."""
         return sorted(self._instruments)
 
     def get(self, name: str) -> _Instrument:
+        """The instrument named ``name``; error if it was never created."""
         try:
             return self._instruments[name]
         except KeyError:

@@ -35,6 +35,7 @@ class Clock:
     unit = "s"
 
     def now(self) -> float:  # pragma: no cover - interface
+        """Current time in this clock's ``unit``."""
         raise NotImplementedError
 
 
@@ -44,6 +45,7 @@ class PerfClock(Clock):
     unit = "s"
 
     def now(self) -> float:
+        """Monotonic host time in seconds."""
         return time.perf_counter()
 
 
@@ -58,6 +60,7 @@ class SimClock(Clock):
         self._loop = loop
 
     def now(self) -> float:
+        """The wrapped loop's current simulated time (hours)."""
         return float(self._loop.now)
 
 
@@ -70,9 +73,11 @@ class ManualClock(Clock):
         self.time = float(start)
 
     def now(self) -> float:
+        """Current manual time (only moves via :meth:`advance`)."""
         return self.time
 
     def advance(self, dt: float) -> None:
+        """Move the clock forward by ``dt``."""
         self.time += float(dt)
 
 
@@ -96,6 +101,7 @@ class SpanRecord:
         return len(self.path) - 1
 
     def as_dict(self) -> dict:
+        """JSON-ready view with ``path`` flattened to ``a/b/c``."""
         return {
             "name": self.name,
             "path": "/".join(self.path),
@@ -165,6 +171,7 @@ class Tracer:
     # -- queries --------------------------------------------------------------
 
     def named(self, name: str) -> List[SpanRecord]:
+        """All records called ``name``, in completion order."""
         return [r for r in self.records if r.name == name]
 
     def total_duration(self, name: str) -> float:
@@ -172,4 +179,5 @@ class Tracer:
         return sum(r.duration for r in self.named(name))
 
     def as_list(self) -> List[dict]:
+        """Every record as a JSON-ready dict, in completion order."""
         return [r.as_dict() for r in self.records]

@@ -1,0 +1,100 @@
+"""Work-ensemble executor benchmark: serial vs parallel wall-clock.
+
+Times :func:`repro.smd.run_pulling_ensemble_parallel` on a fixed paper
+workload (kappa = 100 pN/A, v = 12.5 A/ns) at ``n_workers=1`` and at the
+benchmark worker count, and cross-checks that both runs produce
+bit-identical work curves — the executor's core guarantee.  A run that
+breaks determinism produces a document that fails validation, so the
+regression cannot slip through a benchmark run or CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..obs import Obs, as_obs
+from ..pore.reduced import ReducedTranslocationModel, default_reduced_potential
+from ..rng import SeedLike, as_seed_int
+from ..smd import (
+    DEFAULT_SHARD_SIZE,
+    PullingProtocol,
+    run_pulling_ensemble_parallel,
+)
+from .harness import SCHEMA_ENSEMBLE, metrics_snapshot
+
+__all__ = ["run_ensemble_benchmark"]
+
+
+def run_ensemble_benchmark(
+    quick: bool = False,
+    seed: SeedLike = 2005,
+    n_workers: Optional[int] = None,
+    obs: Optional[Obs] = None,
+) -> dict:
+    """Benchmark the parallel work-ensemble executor.
+
+    Returns a BENCH document (schema
+    :data:`~repro.perf.harness.SCHEMA_ENSEMBLE`).  ``n_workers`` defaults
+    to ``min(4, os.cpu_count())`` but never below 2, so the parallel leg
+    always goes through the process pool — the serial-vs-pool bit-for-bit
+    comparison (the ``deterministic`` field) is the executor's core
+    guarantee and must be exercised even on a single-core host.  ``quick``
+    shrinks the ensemble to CI smoke scale.
+    """
+    obs = as_obs(obs)
+    seed_int = as_seed_int(seed)
+    if n_workers is None:
+        n_workers = max(2, min(4, os.cpu_count() or 1))
+    n_samples = 16 if quick else 64
+    shard_size = 4 if quick else DEFAULT_SHARD_SIZE
+
+    model = ReducedTranslocationModel(potential=default_reduced_potential())
+    protocol = PullingProtocol(kappa_pn=100.0, velocity=12.5)
+
+    def run(workers: int):
+        t0 = time.perf_counter()
+        ensemble = run_pulling_ensemble_parallel(
+            model, protocol, n_samples,
+            n_workers=workers, shard_size=shard_size, seed=seed_int,
+        )
+        return ensemble, time.perf_counter() - t0
+
+    with obs.span("perf.bench.ensemble", quick=quick, n_samples=n_samples,
+                  n_workers=n_workers, shard_size=shard_size):
+        serial, serial_wall = run(1)
+        parallel, parallel_wall = run(n_workers)
+
+    deterministic = (
+        np.array_equal(serial.works, parallel.works)
+        and np.array_equal(serial.positions, parallel.positions)
+        and np.array_equal(serial.displacements, parallel.displacements)
+    )
+    if obs.enabled:
+        obs.metrics.set_gauge("perf.ensemble.serial_wall_s", serial_wall)
+        obs.metrics.set_gauge("perf.ensemble.parallel_wall_s", parallel_wall)
+        obs.metrics.set_gauge("perf.ensemble.speedup",
+                              serial_wall / parallel_wall)
+
+    return {
+        "schema": SCHEMA_ENSEMBLE,
+        "quick": quick,
+        "seed": seed_int,
+        "workload": {
+            "kappa_pn": protocol.kappa_pn,
+            "velocity_A_per_ns": protocol.velocity,
+            "n_samples": n_samples,
+            "shard_size": shard_size,
+        },
+        "n_workers": n_workers,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall,
+        "samples_per_s_serial": n_samples / serial_wall,
+        "samples_per_s_parallel": n_samples / parallel_wall,
+        "deterministic": bool(deterministic),
+        "metrics": metrics_snapshot(obs),
+    }

@@ -117,6 +117,7 @@ class BreakerBoard:
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, site: str) -> CircuitBreaker:
+        """Get or create the :class:`CircuitBreaker` guarding ``site``."""
         b = self._breakers.get(site)
         if b is None:
             b = CircuitBreaker(
@@ -129,18 +130,24 @@ class BreakerBoard:
         return b
 
     def allows(self, site: str) -> bool:
+        """Whether placements may be routed to ``site`` right now (see
+        :meth:`CircuitBreaker.allows`)."""
         return self.breaker(site).allows()
 
     def record_failure(self, site: str) -> None:
+        """Record one observed failure against ``site``'s breaker."""
         self.breaker(site).record_failure()
 
     def record_success(self, site: str) -> None:
+        """Record a healthy observation; closes ``site``'s circuit."""
         self.breaker(site).record_success()
 
     def state(self, site: str) -> BreakerState:
+        """Current :class:`BreakerState` of ``site``'s breaker."""
         return self.breaker(site).state
 
     def half_open(self, site: str) -> bool:
+        """Whether ``site``'s breaker is admitting probe traffic only."""
         return self.breaker(site).state is BreakerState.HALF_OPEN
 
     @property
@@ -148,5 +155,6 @@ class BreakerBoard:
         return sum(b.trips for b in self._breakers.values())
 
     def trip_counts(self) -> Dict[str, int]:
+        """Trip totals per site, sorted by name, sites with zero omitted."""
         return {s: b.trips for s, b in sorted(self._breakers.items())
                 if b.trips}

@@ -47,6 +47,7 @@ class GridPartition:
             raise ConfigurationError("partition must have positive duration")
 
     def active(self, now: float) -> bool:
+        """Whether the partition window covers simulated hour ``now``."""
         return self.start_hours <= now < self.end_hours
 
 
@@ -143,9 +144,13 @@ class Resilience:
         return queue.down
 
     def suspected(self, queue) -> bool:
+        """Whether the detector marks the queue's site SUSPECT (``False``
+        when no detector is configured or the site is unwatched)."""
         return (self.detector is not None
                 and self.detector.watching(queue.resource.name)
                 and self.detector.suspected(queue.resource.name))
 
     def breaker_allows(self, site: str) -> bool:
+        """Whether the breaker board admits placements to ``site``
+        (``True`` when no board is configured)."""
         return self.breakers.allows(site) if self.breakers is not None else True

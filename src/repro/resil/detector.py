@@ -96,6 +96,7 @@ class HeartbeatFailureDetector:
         self.loop.schedule(self.interval_hours, lambda: self._tick(site))
 
     def watching(self, site: str) -> bool:
+        """Whether ``site`` has been registered via :meth:`watch`."""
         return site in self._queues
 
     @property
@@ -105,6 +106,8 @@ class HeartbeatFailureDetector:
     # -- state ---------------------------------------------------------------
 
     def health(self, site: str) -> SiteHealth:
+        """Current :class:`SiteHealth` verdict for a watched site; raises
+        :class:`~repro.errors.ConfigurationError` for unwatched sites."""
         try:
             return self._health[site]
         except KeyError:
@@ -116,6 +119,7 @@ class HeartbeatFailureDetector:
         return self.health(site) is not SiteHealth.DEAD
 
     def suspected(self, site: str) -> bool:
+        """Missed heartbeats but not yet confirmed dead (SUSPECT state)."""
         return self.health(site) is SiteHealth.SUSPECT
 
     # -- the heartbeat/check cycle -------------------------------------------

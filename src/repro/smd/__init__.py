@@ -13,7 +13,12 @@ from .protocol import (
     PAPER_VELOCITIES,
 )
 from .work import WorkEnsemble
-from .ensemble import run_pulling_ensemble, PAPER_CPU_HOURS_PER_NS
+from .ensemble import (
+    run_pulling_ensemble,
+    run_pulling_ensemble_parallel,
+    DEFAULT_SHARD_SIZE,
+    PAPER_CPU_HOURS_PER_NS,
+)
 from .ensemble3d import run_pulling_ensemble_3d
 from .pulling import SMDPullingForce, SMDWorkRecorder
 from .subtrajectory import SubTrajectoryPlan, plan_subtrajectories, stitch_pmfs
@@ -25,7 +30,9 @@ __all__ = [
     "PAPER_VELOCITIES",
     "WorkEnsemble",
     "run_pulling_ensemble",
+    "run_pulling_ensemble_parallel",
     "run_pulling_ensemble_3d",
+    "DEFAULT_SHARD_SIZE",
     "PAPER_CPU_HOURS_PER_NS",
     "SMDPullingForce",
     "SMDWorkRecorder",

@@ -22,18 +22,27 @@ scheduling work at paper scale.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from concurrent.futures import ProcessPoolExecutor
+from functools import reduce
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
-from ..rng import SeedLike, as_generator
+from ..rng import SeedLike, as_generator, as_seed_int, stream_for
 from .protocol import PullingProtocol
 from .work import WorkEnsemble
 
-__all__ = ["run_pulling_ensemble", "PAPER_CPU_HOURS_PER_NS", "DEFAULT_FORCE_SAMPLE_TIME"]
+__all__ = [
+    "run_pulling_ensemble",
+    "run_pulling_ensemble_parallel",
+    "PAPER_CPU_HOURS_PER_NS",
+    "DEFAULT_FORCE_SAMPLE_TIME",
+    "DEFAULT_SHARD_SIZE",
+]
 
 #: Paper Section I: ~24 h on 128 processors per simulated ns -> 3072 CPU-h;
 #: the paper rounds to "about 3000 CPU-hours ... to simulate 1 ns".
@@ -42,6 +51,12 @@ PAPER_CPU_HOURS_PER_NS: float = 3000.0
 #: Default spring-force output stride, 2 ps — NAMD-scale output frequency
 #: (every ~1000 steps of 2 fs).
 DEFAULT_FORCE_SAMPLE_TIME: float = 2.0e-3
+
+#: Default replicas per shard for the parallel executor.  The shard
+#: decomposition is part of the *result's identity* (see
+#: :func:`run_pulling_ensemble_parallel`): changing the shard size changes
+#: which RNG stream drives which replica, changing the worker count does not.
+DEFAULT_SHARD_SIZE: int = 8
 
 
 def run_pulling_ensemble(
@@ -174,6 +189,125 @@ def run_pulling_ensemble(
         temperature=model.temperature,
         cpu_hours=total_sim_ns * cpu_hours_per_ns,
     )
+
+
+def _shard_sizes(n_samples: int, shard_size: int) -> list:
+    """Fixed decomposition of ``n_samples`` replicas into shards.
+
+    Depends only on ``(n_samples, shard_size)`` — never on the worker
+    count — so the same shards (and therefore the same per-shard RNG
+    streams) are produced no matter how execution is distributed.
+    """
+    full, rest = divmod(n_samples, shard_size)
+    return [shard_size] * full + ([rest] if rest else [])
+
+
+def _run_shard(payload: Tuple) -> WorkEnsemble:
+    """Run one shard of the work ensemble (module-level for pickling).
+
+    The shard's RNG stream is keyed by ``(base_seed, "smd.shard", index)``
+    via :func:`repro.rng.stream_for`, so replica ``i`` of shard ``b`` sees
+    the same noise whether the shard runs in this process, a pool worker,
+    or any other placement.
+    """
+    (model, protocol, shard_n, base_seed, shard_index, dt, n_records,
+     force_sample_time, cpu_hours_per_ns) = payload
+    return run_pulling_ensemble(
+        model, protocol, shard_n,
+        dt=dt, n_records=n_records, force_sample_time=force_sample_time,
+        seed=stream_for(base_seed, "smd.shard", shard_index),
+        cpu_hours_per_ns=cpu_hours_per_ns,
+    )
+
+
+def run_pulling_ensemble_parallel(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    n_samples: int,
+    n_workers: Optional[int] = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    dt: Optional[float] = None,
+    n_records: int = 41,
+    force_sample_time: Optional[float] = DEFAULT_FORCE_SAMPLE_TIME,
+    seed: SeedLike = None,
+    cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
+) -> WorkEnsemble:
+    """Run a pulling ensemble as independent shards, optionally in parallel.
+
+    This is the work-ensemble executor exploiting the embarrassing
+    parallelism at the heart of SMD-JE: replicas are *independent* pulls,
+    so the ensemble splits into fixed-size shards that execute anywhere.
+    Shards run across processes (``concurrent.futures``) and are merged in
+    shard order, giving three guarantees:
+
+    1. **Worker-count invariance** — the shard decomposition and each
+       shard's RNG stream (``stream_for(seed, "smd.shard", b)`` from
+       :mod:`repro.rng`) depend only on ``(n_samples, shard_size, seed)``,
+       so the returned :class:`WorkEnsemble` is bit-for-bit identical for
+       any ``n_workers`` (including serial in-process execution at
+       ``n_workers=1``).
+    2. **Replica-order stability** — shard results are concatenated in
+       shard index order, so replica row ``i`` always refers to the same
+       pull.
+    3. **Cost bookkeeping** — CPU-hours and obs counters accumulate
+       exactly as the serial runner's would.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count; ``1`` (default) runs shards serially in-process,
+        ``None`` uses ``os.cpu_count()``.  Workers above the shard count
+        are not spawned.
+    shard_size:
+        Replicas per shard.  Part of the result's identity: changing it
+        re-keys the RNG streams (documented, deliberate); changing
+        ``n_workers`` never does.
+    obs:
+        Instrumentation handle.  The whole run executes inside an
+        ``smd.ensemble.parallel`` host-clock span carrying ``n_workers``
+        and ``n_shards``; the usual ``smd.je_samples`` / ``smd.sim_ns`` /
+        ``smd.cpu_hours`` counters accumulate in the parent process
+        (workers run uninstrumented — observation must not change
+        results, and it does not survive pickling anyway).
+
+    Remaining parameters match :func:`run_pulling_ensemble`.
+    """
+    if n_samples < 1:
+        raise ConfigurationError("n_samples must be at least 1")
+    if shard_size < 1:
+        raise ConfigurationError("shard_size must be at least 1")
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be at least 1 (or None)")
+    obs = as_obs(obs)
+
+    base_seed = as_seed_int(seed)
+    sizes = _shard_sizes(n_samples, shard_size)
+    payloads = [
+        (model, protocol, shard_n, base_seed, b, dt, n_records,
+         force_sample_time, cpu_hours_per_ns)
+        for b, shard_n in enumerate(sizes)
+    ]
+
+    with obs.span("smd.ensemble.parallel", kappa_pn=protocol.kappa_pn,
+                  velocity=protocol.velocity, n_samples=n_samples,
+                  n_workers=n_workers, n_shards=len(sizes)):
+        if n_workers == 1 or len(payloads) == 1:
+            shards = [_run_shard(p) for p in payloads]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(payloads))
+            ) as pool:
+                shards = list(pool.map(_run_shard, payloads))
+
+    ensemble = reduce(WorkEnsemble.merged_with, shards)
+    if obs.enabled:
+        obs.metrics.inc("smd.je_samples", ensemble.n_samples)
+        obs.metrics.inc("smd.sim_ns", ensemble.cpu_hours / cpu_hours_per_ns)
+        obs.metrics.inc("smd.cpu_hours", ensemble.cpu_hours)
+    return ensemble
 
 
 def _record_schedule(n_strides: int, n_records: int) -> np.ndarray:

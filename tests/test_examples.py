@@ -42,6 +42,26 @@ class TestExamples:
         out = capsys.readouterr().out
         assert len(out) > 100  # produced a real report
 
+    def test_examples_use_unified_front_door(self):
+        # The quickstart and parameter study must go through the unified
+        # estimator front door (repro.core.estimate_free_energy registry),
+        # not reach into estimator submodules directly.
+        quickstart = (EXAMPLES_DIR / "quickstart.py").read_text()
+        study = (EXAMPLES_DIR / "pmf_parameter_study.py").read_text()
+        assert "estimate_free_energy" in quickstart
+        assert "available_estimators" in study
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_no_deprecated_submodule_imports(self, path):
+        # Examples teach the public API: package front doors only, never
+        # repro.core.<estimator module> internals.
+        source = path.read_text()
+        for private in ("repro.core.jarzynski", "repro.core.estimators",
+                        "repro.core.pmf", "repro.core.errors"):
+            assert private not in source, (
+                f"{path.name} imports {private}; use the repro.core "
+                f"front door instead")
+
     def test_quickstart_reports_small_error(self, capsys):
         module = load_module(EXAMPLES_DIR / "quickstart.py")
         module.main()

@@ -1,0 +1,150 @@
+"""Benchmark harness: CLI smoke run, document validation, malformed output.
+
+The BENCH documents are consumed by CI (which fails on malformed output)
+and by PERFORMANCE.md readers, so validation must be strict and the CLI
+must refuse to write anything that does not validate.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import AnalysisError
+from repro.perf import (
+    SCHEMA_ENSEMBLE,
+    SCHEMA_KERNELS,
+    load_bench_document,
+    time_call,
+    validate_bench_document,
+    write_bench_document,
+)
+
+
+def kernels_doc():
+    """A minimal valid kernels document."""
+    return {
+        "schema": SCHEMA_KERNELS,
+        "quick": True,
+        "seed": 1,
+        "system": {"n_particles": 10},
+        "step_rate": {
+            "reference": {"steps_per_s": 10.0},
+            "vectorized": {"steps_per_s": 100.0},
+            "speedup": 10.0,
+        },
+        "neighbor_rebuild": {
+            "reference": {"build_s": 1.0},
+            "vectorized": {"build_s": 0.1},
+            "speedup": 10.0,
+            "candidate_pairs": 42,
+        },
+        "metrics": {},
+    }
+
+
+def ensemble_doc():
+    """A minimal valid ensemble document."""
+    return {
+        "schema": SCHEMA_ENSEMBLE,
+        "quick": True,
+        "seed": 1,
+        "workload": {"n_samples": 8, "shard_size": 4},
+        "n_workers": 2,
+        "serial_wall_s": 1.0,
+        "parallel_wall_s": 0.6,
+        "speedup": 1.6,
+        "samples_per_s_parallel": 13.0,
+        "deterministic": True,
+        "metrics": {},
+    }
+
+
+class TestValidation:
+    def test_valid_documents_pass(self):
+        assert validate_bench_document(kernels_doc()) is not None
+        assert validate_bench_document(ensemble_doc()) is not None
+
+    def test_not_a_dict(self):
+        with pytest.raises(AnalysisError, match="not a JSON object"):
+            validate_bench_document([1, 2])
+
+    def test_unknown_schema(self):
+        doc = kernels_doc()
+        doc["schema"] = "repro.bench.gpu/v9"
+        with pytest.raises(AnalysisError, match="unknown schema"):
+            validate_bench_document(doc)
+
+    def test_missing_key(self):
+        doc = kernels_doc()
+        del doc["step_rate"]
+        with pytest.raises(AnalysisError, match="step_rate"):
+            validate_bench_document(doc)
+
+    def test_nonpositive_rate(self):
+        doc = kernels_doc()
+        doc["step_rate"]["vectorized"]["steps_per_s"] = 0.0
+        with pytest.raises(AnalysisError, match="steps_per_s"):
+            validate_bench_document(doc)
+
+    def test_rate_wrong_type(self):
+        doc = kernels_doc()
+        doc["step_rate"]["vectorized"]["steps_per_s"] = "fast"
+        with pytest.raises(AnalysisError, match="positive number"):
+            validate_bench_document(doc)
+
+    def test_nondeterministic_ensemble_rejected(self):
+        doc = ensemble_doc()
+        doc["deterministic"] = False
+        with pytest.raises(AnalysisError, match="deterministic"):
+            validate_bench_document(doc)
+
+    def test_write_refuses_malformed(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        doc = kernels_doc()
+        del doc["metrics"]
+        with pytest.raises(AnalysisError):
+            write_bench_document(str(path), doc)
+        assert not path.exists()
+
+    def test_load_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError, match="cannot read"):
+            load_bench_document(str(path))
+
+    def test_load_rejects_malformed_document(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps({"schema": SCHEMA_KERNELS}))
+        with pytest.raises(AnalysisError):
+            load_bench_document(str(path))
+
+
+class TestTimeCall:
+    def test_returns_timing(self):
+        t = time_call(lambda: sum(range(100)), repeats=2)
+        assert t.best_s > 0.0
+        assert t.mean_s >= t.best_s
+        assert t.repeats == 2
+
+    def test_bad_repeats(self):
+        with pytest.raises(AnalysisError):
+            time_call(lambda: None, repeats=0)
+
+
+class TestCliBench:
+    def test_quick_bench_writes_valid_documents(self, tmp_path, capsys):
+        code = main(["bench", "--quick", "--out-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steps/s" in out and "deterministic: True" in out
+
+        kernels = load_bench_document(str(tmp_path / "BENCH_kernels.json"))
+        assert kernels["quick"] is True
+        # The full-size acceptance floor is 3x; at quick scale the measured
+        # margin is ~10x, so >2x here keeps the test robust on loaded CI.
+        assert kernels["step_rate"]["speedup"] > 2.0
+
+        ensemble = load_bench_document(str(tmp_path / "BENCH_ensemble.json"))
+        assert ensemble["deterministic"] is True
+        assert ensemble["n_workers"] >= 2
