@@ -11,7 +11,8 @@ Thin wrappers over the library for the common entry points:
 * ``ti`` — thermodynamic-integration PMF over the window;
 * ``production`` — the stitched full-axis PMF;
 * ``bench`` — the performance benchmark suite (writes BENCH_*.json);
-* ``chaos`` — a named fault scenario run against the resilient campaign.
+* ``chaos`` — a named fault scenario run against the resilient campaign;
+* ``lint`` — the static determinism & invariant checker (repro.lint).
 
 Commands are rows of a declarative table (:data:`COMMANDS`); each row
 names its flags and a runner returning ``(text, summary)``.  Two global
@@ -22,7 +23,8 @@ flags are attached to every subcommand by the table machinery:
   through the :mod:`repro.obs` exporters) instead of the plain text.
 
 Exit codes are uniform: 0 on success, 1 for any :class:`~repro.errors.
-ReproError`, 2 for a usage error (argparse).  Without ``--json`` every
+ReproError` or a completed command reporting failure (lint violations),
+2 for a usage error (argparse).  Without ``--json`` every
 command prints plain text (ASCII figures and aligned tables), so output
 is diffable and scriptable.
 """
@@ -41,10 +43,16 @@ __all__ = ["main", "build_parser", "CommandSpec", "COMMANDS"]
 
 @dataclass(frozen=True)
 class CommandResult:
-    """What a runner produces: human text plus a machine summary."""
+    """What a runner produces: human text plus a machine summary.
+
+    ``exit_code`` lets a command that *completed* still fail the shell
+    (the lint gate reporting violations); runner exceptions keep the
+    uniform :class:`~repro.errors.ReproError` -> 1 path.
+    """
 
     text: str
     summary: dict
+    exit_code: int = 0
 
 
 @dataclass(frozen=True)
@@ -343,6 +351,19 @@ def cmd_bench(args) -> CommandResult:
     })
 
 
+def cmd_lint(args) -> CommandResult:
+    from .lint import build_lint_report, lint_paths, render_text_report
+    from .obs import Obs
+
+    select = tuple(s for s in (args.select or "").split(",") if s)
+    ignore = tuple(s for s in (args.ignore or "").split(",") if s)
+    result = lint_paths(args.paths, select=select, ignore=ignore,
+                        baseline=args.baseline, obs=Obs())
+    report = build_lint_report(result, args.paths, select, ignore)
+    return CommandResult(render_text_report(result), report,
+                         exit_code=0 if result.clean else 1)
+
+
 def cmd_chaos(args) -> CommandResult:
     from .obs import Obs
     from .resil import SCENARIOS, render_chaos_report, run_chaos_scenario
@@ -422,6 +443,25 @@ COMMANDS: Dict[str, CommandSpec] = {
             ),
         ),
         CommandSpec(
+            "lint", "static determinism & invariant checks (exit 1 on "
+                    "violations)",
+            cmd_lint,
+            args=(
+                _arg("paths", nargs="*",
+                     default=["src", "tests", "examples"],
+                     help="files or directories to lint "
+                          "(default: src tests examples)"),
+                _arg("--select", default="",
+                     help="comma-separated rule-id prefixes to run "
+                          "(e.g. SPICE001,SPICE2)"),
+                _arg("--ignore", default="",
+                     help="comma-separated rule-id prefixes to skip"),
+                _arg("--baseline", default="lint-baseline.txt",
+                     help="baseline file of standing suppressions "
+                          "(missing file = empty baseline)"),
+            ),
+        ),
+        CommandSpec(
             "chaos", "fault scenario against the resilient campaign",
             cmd_chaos,
             args=(
@@ -472,7 +512,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_json(result.summary))
     else:
         print(result.text)
-    return 0
+    return result.exit_code
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
 from ..rng import SeedLike, as_generator
 from ..smd.ensemble import PAPER_CPU_HOURS_PER_NS
@@ -107,11 +108,12 @@ class TIResult:
 
 def run_thermodynamic_integration(
     model: ReducedTranslocationModel,
-    protocol: TIProtocol = TIProtocol(),
+    protocol: Optional[TIProtocol] = None,
     n_replicas: int = 16,
     dt: Optional[float] = None,
     seed: SeedLike = None,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
 ) -> TIResult:
     """Run restrained-coordinate TI over the window.
 
@@ -120,9 +122,16 @@ def run_thermodynamic_integration(
     mean estimates ``dPhi/dz`` at the station.  Trapezoid integration over
     stations yields the PMF.  Per-station force errors are standard errors
     over replicas (each replica's time average is one sample).
+
+    ``protocol`` defaults to ``TIProtocol()``; ``obs`` is the
+    instrumentation handle (read-only: spans and counters, never RNG
+    draws, so instrumented runs stay bit-identical).
     """
+    if protocol is None:
+        protocol = TIProtocol()
     if n_replicas < 2:
         raise ConfigurationError("need at least 2 replicas for error bars")
+    obs = as_obs(obs)
     rng = as_generator(seed)
     kappa = protocol.kappa_internal
     z_end = protocol.start_z + protocol.distance
@@ -141,26 +150,27 @@ def run_thermodynamic_integration(
     # Walk the restraint along the stations, dragging the ensemble with it
     # (cheaper than re-equilibrating from scratch; the per-station
     # equilibration heals the move).
-    z = model.equilibrate(
-        n_replicas, spring_kappa=kappa, spring_center=float(stations[0]),
-        dt=dt, time_ns=protocol.equilibration_ns, seed=rng,
-    )
-    for i, station in enumerate(stations):
-        for _ in range(n_equil):
-            model.step_ensemble(z, dt, rng, spring_kappa=kappa,
-                                spring_center=float(station))
-        # Time-average the mean restoring force and position per replica.
-        acc = np.zeros(n_replicas)
-        pos_acc = np.zeros(n_replicas)
-        for _ in range(n_sample):
-            model.step_ensemble(z, dt, rng, spring_kappa=kappa,
-                                spring_center=float(station))
-            acc += kappa * (station - z)
-            pos_acc += z
-        per_replica = acc / n_sample
-        mean_forces[i] = per_replica.mean()
-        force_errors[i] = per_replica.std(ddof=1) / np.sqrt(n_replicas)
-        mean_positions[i] = pos_acc.mean() / n_sample
+    with obs.span("core.ti", n_stations=stations.size, n_replicas=n_replicas):
+        z = model.equilibrate(
+            n_replicas, spring_kappa=kappa, spring_center=float(stations[0]),
+            dt=dt, time_ns=protocol.equilibration_ns, seed=rng,
+        )
+        for i, station in enumerate(stations):
+            for _ in range(n_equil):
+                model.step_ensemble(z, dt, rng, spring_kappa=kappa,
+                                    spring_center=float(station))
+            # Time-average the mean restoring force and position per replica.
+            acc = np.zeros(n_replicas)
+            pos_acc = np.zeros(n_replicas)
+            for _ in range(n_sample):
+                model.step_ensemble(z, dt, rng, spring_kappa=kappa,
+                                    spring_center=float(station))
+                acc += kappa * (station - z)
+                pos_acc += z
+            per_replica = acc / n_sample
+            mean_forces[i] = per_replica.mean()
+            force_errors[i] = per_replica.std(ddof=1) / np.sqrt(n_replicas)
+            mean_positions[i] = pos_acc.mean() / n_sample
 
     # Umbrella-integration assignment: at equilibrium
     # <kappa (station - z)> = <dU/dz> ~= Phi'(<z>); the coordinate sits at
@@ -177,6 +187,10 @@ def run_thermodynamic_integration(
     )
 
     total_ns = n_replicas * protocol.total_time_ns
+    if obs.enabled:
+        obs.metrics.inc("core.ti.stations", stations.size)
+        obs.metrics.inc("core.ti.sim_ns", total_ns)
+        obs.metrics.inc("core.ti.cpu_hours", total_ns * cpu_hours_per_ns)
     pmf = PMFEstimate(
         displacements=displacements,
         values=values,

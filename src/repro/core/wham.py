@@ -25,6 +25,7 @@ import numpy as np
 from scipy.special import logsumexp
 
 from ..errors import AnalysisError, ConfigurationError
+from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
 from ..rng import SeedLike, as_generator
 from ..smd.ensemble import PAPER_CPU_HOURS_PER_NS
@@ -87,7 +88,7 @@ class WHAMResult:
 
 def run_umbrella_sampling(
     model: ReducedTranslocationModel,
-    protocol: UmbrellaProtocol = UmbrellaProtocol(),
+    protocol: Optional[UmbrellaProtocol] = None,
     n_replicas: int = 8,
     samples_per_replica: int = 200,
     n_bins: int = 60,
@@ -96,14 +97,20 @@ def run_umbrella_sampling(
     tol: float = 1e-6,
     max_iter: int = 5000,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
 ) -> WHAMResult:
     """Sample all umbrella windows and solve WHAM.
 
     Each window equilibrates, then records ``samples_per_replica`` positions
-    per replica at an even stride over the sampling time.
+    per replica at an even stride over the sampling time.  ``protocol``
+    defaults to ``UmbrellaProtocol()``; ``obs`` is the instrumentation
+    handle (read-only — no RNG draws, so runs stay bit-identical).
     """
+    if protocol is None:
+        protocol = UmbrellaProtocol()
     if n_replicas < 1 or samples_per_replica < 1:
         raise ConfigurationError("need positive replicas and samples")
+    obs = as_obs(obs)
     rng = as_generator(seed)
     kappa = protocol.kappa_internal
     z_end = protocol.start_z + protocol.distance
@@ -117,26 +124,33 @@ def run_umbrella_sampling(
     stride = max(n_sample_steps // samples_per_replica, 1)
 
     all_samples = []
-    z = model.equilibrate(n_replicas, spring_kappa=kappa,
-                          spring_center=float(centers[0]), dt=dt,
-                          time_ns=protocol.equilibration_ns, seed=rng)
-    for center in centers:
-        for _ in range(n_equil):
-            model.step_ensemble(z, dt, rng, spring_kappa=kappa,
-                                spring_center=float(center))
-        window_samples = []
-        for step in range(n_sample_steps):
-            model.step_ensemble(z, dt, rng, spring_kappa=kappa,
-                                spring_center=float(center))
-            if step % stride == 0:
-                window_samples.append(z.copy())
-        all_samples.append(np.concatenate(window_samples))
+    with obs.span("core.wham.sampling", n_windows=centers.size,
+                  n_replicas=n_replicas):
+        z = model.equilibrate(n_replicas, spring_kappa=kappa,
+                              spring_center=float(centers[0]), dt=dt,
+                              time_ns=protocol.equilibration_ns, seed=rng)
+        for center in centers:
+            for _ in range(n_equil):
+                model.step_ensemble(z, dt, rng, spring_kappa=kappa,
+                                    spring_center=float(center))
+            window_samples = []
+            for step in range(n_sample_steps):
+                model.step_ensemble(z, dt, rng, spring_kappa=kappa,
+                                    spring_center=float(center))
+                if step % stride == 0:
+                    window_samples.append(z.copy())
+            all_samples.append(np.concatenate(window_samples))
 
-    pmf_values, bin_centers, f_i, iters = wham(
-        all_samples, centers, kappa, model.temperature,
-        n_bins=n_bins, tol=tol, max_iter=max_iter,
-    )
+    with obs.span("core.wham.solve", n_bins=n_bins):
+        pmf_values, bin_centers, f_i, iters = wham(
+            all_samples, centers, kappa, model.temperature,
+            n_bins=n_bins, tol=tol, max_iter=max_iter,
+        )
     total_ns = n_replicas * protocol.total_time_ns
+    if obs.enabled:
+        obs.metrics.inc("core.wham.windows", centers.size)
+        obs.metrics.inc("core.wham.sim_ns", total_ns)
+        obs.metrics.set_gauge("core.wham.iterations", iters)
     estimate = PMFEstimate(
         displacements=bin_centers - bin_centers[0],
         values=pmf_values,

@@ -21,6 +21,7 @@ __all__ = [
     "CoSchedulingError",
     "CheckpointError",
     "AnalysisError",
+    "LintError",
 ]
 
 
@@ -97,3 +98,11 @@ class CheckpointError(ReproError):
 
 class AnalysisError(ReproError):
     """Analysis-layer failure (incompatible grids, empty ensembles)."""
+
+
+class LintError(ReproError):
+    """Static-analysis failure that is not a lint *finding*: an unknown
+    rule id or selector, an unreadable lint path, a malformed baseline
+    file, or a lint report that does not validate against its schema.
+    (Findings themselves are data — :class:`repro.lint.Violation` — and
+    set the exit code instead of raising.)"""

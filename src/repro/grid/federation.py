@@ -336,8 +336,8 @@ class CampaignManager:
                             resil.breakers.record_failure(q.resource.name)
                         best = min(
                             alternatives,
-                            key=lambda c: (self._start_estimate(c, job),
-                                           c.resource.name),
+                            key=lambda c, j=job: (self._start_estimate(c, j),
+                                                  c.resource.name),
                         )
                         best.submit(job)
                         requeued_any = True

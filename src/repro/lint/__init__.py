@@ -1,0 +1,64 @@
+"""``repro.lint`` — AST-based determinism & invariant checker.
+
+The repo's runtime guarantees (bit-identical instrumented runs, serial
+== parallel ensembles, seeded chaos) are enforced *statically* here, on
+every file, by a small rule-plugin framework:
+
+* determinism family (``SPICE001``-``SPICE004``) — no global-state RNG,
+  no wall-clock reads in the deterministic core, no bare-set iteration
+  in physics/scheduling loops, no unseeded ``default_rng()``;
+* API-boundary family (``SPICE101``-``SPICE103``) — examples/tests use
+  the ``repro.core`` front door, raw estimators stay internal, and
+  work-spawning entry points thread ``obs=``;
+* numerical-safety family (``SPICE201``-``SPICE202``) — no float
+  equality on physical quantities, no inline unit-bearing constants.
+
+Run it as ``python -m repro lint [paths] [--json] [--select/--ignore]``;
+exit code 1 means violations.  Suppress deliberately with
+``# spice: noqa SPICE00x`` inline or a ``lint-baseline.txt`` entry.
+"""
+
+from .base import (
+    FileContext,
+    Rule,
+    RULES,
+    Violation,
+    all_rules,
+    register_rule,
+    select_rules,
+)
+from .engine import (
+    BaselineEntry,
+    LintResult,
+    discover_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+from .report import (
+    SCHEMA_LINT,
+    build_lint_report,
+    render_text_report,
+    validate_lint_report,
+)
+from . import rules_determinism, rules_api, rules_numeric  # noqa: F401  (rule registration)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "RULES",
+    "Violation",
+    "all_rules",
+    "register_rule",
+    "select_rules",
+    "BaselineEntry",
+    "LintResult",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "SCHEMA_LINT",
+    "build_lint_report",
+    "render_text_report",
+    "validate_lint_report",
+]

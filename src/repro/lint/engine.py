@@ -1,0 +1,228 @@
+"""The lint engine: file discovery, rule execution, suppressions.
+
+Two suppression channels, both explicit and reviewable:
+
+* **inline noqa** — ``# spice: noqa`` on the offending line suppresses
+  every rule there; ``# spice: noqa SPICE101,SPICE102`` suppresses only
+  the named ids.  For deliberate single-line exceptions that deserve a
+  comment in place.
+* **baseline file** — tab-separated ``rule<TAB>path<TAB>source`` lines
+  (see :func:`load_baseline`); an entry matches a violation by rule id,
+  repo-relative path, and the *stripped source text* of the offending
+  line, so entries survive unrelated line-number churn.  For the few
+  standing exceptions too structural for an inline comment.
+
+Everything is deterministic: files and violations are reported in
+sorted order, and the engine itself never touches RNG or wall clock
+(``repro lint`` output is byte-stable run to run).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import LintError
+from ..obs import Obs, as_obs
+from .base import FileContext, Rule, Violation, select_rules
+
+__all__ = [
+    "LintResult",
+    "BaselineEntry",
+    "load_baseline",
+    "lint_source",
+    "lint_paths",
+    "discover_files",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*spice:\s*noqa(?:\s+(?P<ids>SPICE[0-9]+(?:\s*,\s*SPICE[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One standing suppression: rule id, path, and offending source."""
+
+    rule: str
+    path: str
+    source: str
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-rendering."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[Rule] = field(default_factory=list)
+    suppressed_noqa: int = 0
+    suppressed_baseline: int = 0
+    baseline_unused: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def discover_files(paths: Sequence[str], root: str) -> List[str]:
+    """Python files under ``paths`` (files or directories), repo-relative,
+    sorted, ``__pycache__`` and hidden directories skipped."""
+    found: List[str] = []
+    for path in paths:
+        full = os.path.join(root, path)
+        if os.path.isfile(full):
+            if full.endswith(".py"):
+                found.append(os.path.relpath(full, root))
+            continue
+        if not os.path.isdir(full):
+            raise LintError(f"lint path does not exist: {path}")
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d != "__pycache__" and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(
+                        os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(set(f.replace(os.sep, "/") for f in found))
+
+
+def _noqa_ids(line: str) -> Optional[frozenset]:
+    """Ids suppressed on ``line``: frozenset of ids, empty = all, None = no
+    noqa comment present."""
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    ids = m.group("ids")
+    if not ids:
+        return frozenset()
+    return frozenset(i.strip().upper() for i in ids.split(","))
+
+
+def lint_source(
+    relpath: str, text: str, rules: Sequence[Rule]
+) -> Tuple[List[Violation], int]:
+    """Lint one in-memory file; returns (violations, noqa-suppressed count).
+
+    A syntax error is itself reported as a violation (id ``SPICE000``)
+    rather than crashing the run: the gate must fail, with a location,
+    on files it cannot parse.
+    """
+    try:
+        tree = ast.parse(text, filename=relpath)
+    except SyntaxError as exc:
+        lineno = exc.lineno or 1
+        return [Violation(
+            rule="SPICE000", path=relpath, line=lineno,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+            source=text.splitlines()[lineno - 1].strip()
+            if 0 < lineno <= len(text.splitlines()) else "",
+        )], 0
+
+    ctx = FileContext(relpath, text, tree)
+    kept: List[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for violation in rule.check(ctx):
+            ids = _noqa_ids(ctx.source_line(violation.line))
+            if ids is not None and (not ids or violation.rule in ids):
+                suppressed += 1
+            else:
+                kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return kept, suppressed
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a baseline file: ``rule<TAB>path<TAB>source`` per line,
+    ``#`` comments and blank lines ignored."""
+    entries: List[BaselineEntry] = []
+    with open(path, encoding="utf-8") as fh:
+        for n, raw in enumerate(fh, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            parts = line.split("\t", 2)
+            if len(parts) != 3:
+                raise LintError(
+                    f"{path}:{n}: baseline entries are "
+                    f"rule<TAB>path<TAB>source, got {line!r}")
+            rule, relpath, source = parts
+            entries.append(BaselineEntry(rule.strip(), relpath.strip(),
+                                         source.strip()))
+    return entries
+
+
+def _apply_baseline(
+    violations: List[Violation], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Violation], int, List[BaselineEntry]]:
+    keyed: Dict[Tuple[str, str, str], BaselineEntry] = {
+        (e.rule, e.path, e.source): e for e in entries
+    }
+    used: Set[Tuple[str, str, str]] = set()
+    kept: List[Violation] = []
+    for v in violations:
+        key = (v.rule, v.path, v.source)
+        if key in keyed:
+            used.add(key)
+        else:
+            kept.append(v)
+    unused = [e for k, e in keyed.items() if k not in used]
+    return kept, len(violations) - len(kept), unused
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    root: str = ".",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    obs: Optional[Obs] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and fold in suppressions.
+
+    ``baseline`` names a baseline file; a missing baseline file simply
+    means no standing exceptions (the CLI always passes its default
+    name, so absence must not be an error).
+    """
+    obs = as_obs(obs)
+    rules = select_rules(tuple(select or ()), tuple(ignore or ()))
+    entries: List[BaselineEntry] = []
+    if baseline is not None and os.path.isfile(os.path.join(root, baseline)):
+        entries = load_baseline(os.path.join(root, baseline))
+
+    result = LintResult(rules_run=rules)
+    scanned: Set[str] = set()
+    with obs.span("lint.run", paths=list(paths)):
+        for relpath in discover_files(paths, root):
+            with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+                text = fh.read()
+            violations, noqa_count = lint_source(relpath, text, rules)
+            result.violations.extend(violations)
+            result.suppressed_noqa += noqa_count
+            result.files_scanned += 1
+            scanned.add(relpath)
+    result.violations, from_baseline, unused = _apply_baseline(
+        result.violations, entries)
+    result.suppressed_baseline = from_baseline
+    # Only call an entry stale if its file was actually scanned this run;
+    # a partial-path invocation should not nag about the rest of the tree.
+    result.baseline_unused = [e for e in unused if e.path in scanned]
+
+    obs.set_gauge("lint.files_scanned", result.files_scanned)
+    obs.set_gauge("lint.violations", len(result.violations))
+    for rule in rules:
+        count = sum(1 for v in result.violations if v.rule == rule.id)
+        if count:
+            obs.inc(f"lint.violations.{rule.id}", count)
+    return result

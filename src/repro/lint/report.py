@@ -1,0 +1,175 @@
+"""The machine-readable lint report and its schema.
+
+``python -m repro lint --json`` emits one document per run, tagged
+``repro.lint.report/v1`` like the BENCH documents, and
+:func:`validate_lint_report` is the single gatekeeper both the CLI and
+CI use — a malformed report is a loud :class:`~repro.errors.LintError`,
+never silently-consumed garbage.
+
+Schema ``repro.lint.report/v1`` (all keys required)::
+
+    schema          "repro.lint.report/v1"
+    command         "lint"
+    paths           [str]           linted roots, as given
+    select          [str]           --select prefixes ([] = all rules)
+    ignore          [str]           --ignore prefixes
+    rules           [{id, name, rationale}]   rules that ran, id-sorted
+    files_scanned   int >= 0
+    violations      [{rule, path, line, col, message, source}]
+    counts          {total: int, by_rule: {id: int}}  consistent with
+                    the violations list
+    suppressions    {noqa: int, baseline: int, baseline_unused: int}
+    clean           bool == (counts.total == 0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..errors import LintError
+from .engine import LintResult
+
+__all__ = ["SCHEMA_LINT", "build_lint_report", "validate_lint_report",
+           "render_text_report"]
+
+SCHEMA_LINT = "repro.lint.report/v1"
+
+
+def build_lint_report(
+    result: LintResult,
+    paths: Sequence[str],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Assemble (and validate) the v1 report document for one run."""
+    by_rule: Dict[str, int] = {}
+    for v in result.violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    report = {
+        "schema": SCHEMA_LINT,
+        "command": "lint",
+        "paths": list(paths),
+        "select": list(select),
+        "ignore": list(ignore),
+        "rules": [
+            {"id": r.id, "name": r.name, "rationale": r.rationale}
+            for r in result.rules_run
+        ],
+        "files_scanned": result.files_scanned,
+        "violations": [
+            {
+                "rule": v.rule, "path": v.path, "line": v.line,
+                "col": v.col, "message": v.message, "source": v.source,
+            }
+            for v in result.violations
+        ],
+        "counts": {"total": len(result.violations), "by_rule": by_rule},
+        "suppressions": {
+            "noqa": result.suppressed_noqa,
+            "baseline": result.suppressed_baseline,
+            "baseline_unused": len(result.baseline_unused),
+        },
+        "clean": result.clean,
+    }
+    return validate_lint_report(report)
+
+
+def _require(doc: Dict[str, Any], key: str, kind: type) -> Any:
+    if key not in doc:
+        raise LintError(f"malformed lint report: missing key {key!r}")
+    value = doc[key]
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise LintError(
+            f"malformed lint report: {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}")
+    return value
+
+
+def validate_lint_report(doc: object) -> Dict[str, Any]:
+    """Validate a document against ``repro.lint.report/v1``.
+
+    Returns the document on success; raises :class:`LintError` naming
+    the first offending field otherwise.  Cross-field consistency is
+    checked too (counts vs the violations list, the ``clean`` flag).
+    """
+    if not isinstance(doc, dict):
+        raise LintError("malformed lint report: not a JSON object")
+    if doc.get("schema") != SCHEMA_LINT:
+        raise LintError(
+            f"malformed lint report: schema must be {SCHEMA_LINT!r}, "
+            f"got {doc.get('schema')!r}")
+    if doc.get("command") != "lint":
+        raise LintError("malformed lint report: command must be 'lint'")
+    for key in ("paths", "select", "ignore"):
+        seq = _require(doc, key, list)
+        if not all(isinstance(s, str) for s in seq):
+            raise LintError(f"malformed lint report: {key!r} must be strings")
+    rules = _require(doc, "rules", list)
+    for entry in rules:
+        if not isinstance(entry, dict):
+            raise LintError("malformed lint report: rules entries are objects")
+        for key in ("id", "name", "rationale"):
+            if not isinstance(entry.get(key), str) or not entry[key]:
+                raise LintError(
+                    f"malformed lint report: rule entry needs str {key!r}")
+    files = _require(doc, "files_scanned", int)
+    if files < 0:
+        raise LintError("malformed lint report: files_scanned < 0")
+    violations = _require(doc, "violations", list)
+    for entry in violations:
+        if not isinstance(entry, dict):
+            raise LintError(
+                "malformed lint report: violations entries are objects")
+        for key, kind in (("rule", str), ("path", str), ("line", int),
+                          ("col", int), ("message", str), ("source", str)):
+            if not isinstance(entry.get(key), kind):
+                raise LintError(
+                    f"malformed lint report: violation needs "
+                    f"{kind.__name__} {key!r}")
+    counts = _require(doc, "counts", dict)
+    total = counts.get("total")
+    by_rule = counts.get("by_rule")
+    if not isinstance(total, int) or not isinstance(by_rule, dict):
+        raise LintError(
+            "malformed lint report: counts needs int 'total' and "
+            "object 'by_rule'")
+    if total != len(violations) or total != sum(by_rule.values()):
+        raise LintError(
+            "malformed lint report: counts disagree with violations")
+    suppressions = _require(doc, "suppressions", dict)
+    for key in ("noqa", "baseline", "baseline_unused"):
+        if not isinstance(suppressions.get(key), int):
+            raise LintError(
+                f"malformed lint report: suppressions needs int {key!r}")
+    clean = _require(doc, "clean", bool)
+    if clean != (total == 0):
+        raise LintError("malformed lint report: clean flag disagrees "
+                        "with counts.total")
+    return doc
+
+
+def render_text_report(result: LintResult) -> str:
+    """Human text: one ruff-style line per violation plus a summary."""
+    lines: List[str] = [v.render() for v in result.violations]
+    suppressed: List[str] = []
+    if result.suppressed_noqa:
+        suppressed.append(f"{result.suppressed_noqa} noqa-suppressed")
+    if result.suppressed_baseline:
+        suppressed.append(f"{result.suppressed_baseline} baselined")
+    tail = f" ({', '.join(suppressed)})" if suppressed else ""
+    n = len(result.violations)
+    rules = len(result.rules_run)
+    files = (f"{result.files_scanned} "
+             f"file{'s' if result.files_scanned != 1 else ''}")
+    if n:
+        lines.append("")
+        lines.append(
+            f"{n} violation{'s' if n != 1 else ''}{tail} across "
+            f"{files} ({rules} rules)")
+    else:
+        lines.append(
+            f"clean: 0 violations{tail} across {files} ({rules} rules)")
+    for entry in result.baseline_unused:
+        lines.append(
+            f"warning: unused baseline entry {entry.rule} {entry.path!r}")
+    return "\n".join(lines)

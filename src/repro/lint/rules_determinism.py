@@ -1,0 +1,197 @@
+"""Determinism rule family (SPICE001-SPICE004).
+
+These rules protect the repo's headline reproducibility guarantees:
+bit-identical instrumented runs, serial == parallel ensembles at any
+worker count, and seeded chaos scenarios.  Each one targets a concrete
+way those guarantees have historically been broken in MD/ensemble
+codebases: a global-state RNG call, a wall-clock read feeding logic, a
+hash-seed-dependent set iteration, or an OS-entropy-seeded generator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from .base import FileContext, Rule, Violation, register_rule
+
+__all__ = [
+    "GlobalRngRule",
+    "WallClockRule",
+    "SetIterationRule",
+    "UnseededDefaultRngRule",
+]
+
+#: numpy.random module-level functions backed by the *global* legacy
+#: RandomState — calling any of them bypasses the explicit-stream
+#: discipline of repro.rng.
+_NUMPY_LEGACY = frozenset({
+    "seed", "get_state", "set_state",
+    "rand", "randn", "randint", "random_integers",
+    "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "bytes",
+    "uniform", "normal", "standard_normal", "lognormal",
+    "beta", "binomial", "exponential", "gamma", "poisson",
+    "laplace", "logistic", "pareto", "rayleigh", "weibull",
+})
+
+#: Wall-clock and OS-entropy reads that make a run irreproducible when
+#: they feed simulation or scheduling logic.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbelow",
+})
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    """No global-state RNG calls outside ``repro/rng.py``."""
+
+    id = "SPICE001"
+    name = "global-state RNG call"
+    rationale = (
+        "stdlib random.* and legacy numpy.random.* share hidden global "
+        "state, so any call makes results depend on import order and on "
+        "every other caller — breaking bit-identical runs and the "
+        "worker-count invariance of parallel ensembles (seeded streams "
+        "from repro.rng are the sanctioned source of randomness)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_rng_module
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve(node.func)
+            if dotted is None:
+                continue
+            if dotted.startswith("random."):
+                yield self.violation(
+                    ctx, node,
+                    f"call to stdlib '{dotted}' uses the global RNG; take a "
+                    f"seeded numpy Generator from repro.rng instead",
+                )
+            elif (dotted.startswith("numpy.random.")
+                  and dotted.rsplit(".", 1)[1] in _NUMPY_LEGACY):
+                yield self.violation(
+                    ctx, node,
+                    f"'{dotted}' draws from numpy's legacy global state; use "
+                    f"repro.rng.stream_for/as_generator streams",
+                )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock or OS-entropy reads in physics/scheduling logic."""
+
+    id = "SPICE002"
+    name = "wall-clock read in deterministic logic"
+    rationale = (
+        "md/smd/core/resil results must be a pure function of (inputs, "
+        "seed); a time.time()/datetime.now()/os.urandom read in those "
+        "packages couples results to the host clock.  Timing belongs in "
+        "repro.obs clocks and the repro.perf harness, which are "
+        "instrumentation layers outside the deterministic core"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("md", "smd", "core", "resil")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve(node.func)
+            if dotted in _WALL_CLOCK:
+                yield self.violation(
+                    ctx, node,
+                    f"'{dotted}' reads host wall-clock/entropy inside the "
+                    f"deterministic core; thread an explicit clock or seed",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _unwrap_enumerate(node: ast.AST) -> ast.AST:
+    """``enumerate(set(...))`` iterates the set just the same."""
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "enumerate" and node.args):
+        return node.args[0]
+    return node
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """No iteration over bare sets in physics or scheduling code."""
+
+    id = "SPICE003"
+    name = "iteration over an unordered set"
+    rationale = (
+        "set iteration order depends on insertion history and element "
+        "hashes (str hashes vary with PYTHONHASHSEED), so a loop over a "
+        "bare set() in a physics or scheduling path silently reorders "
+        "force accumulation or job placement between runs; iterate "
+        "sorted(...) or a list instead"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("md", "smd", "pore", "core",
+                              "grid", "resil", "workflow")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(_unwrap_enumerate(it)):
+                    yield self.violation(
+                        ctx, it,
+                        "iterating a bare set has no deterministic order; "
+                        "wrap it in sorted(...)",
+                    )
+
+
+@register_rule
+class UnseededDefaultRngRule(Rule):
+    """No ``default_rng()`` without a seed outside ``repro/rng.py``."""
+
+    id = "SPICE004"
+    name = "unseeded default_rng()"
+    rationale = (
+        "default_rng() with no argument seeds from OS entropy, making "
+        "the stream unreproducible; every call site must pass a seed or "
+        "accept a SeedLike and normalize through repro.rng.as_generator "
+        "(rng.py itself is exempt — it implements the seed=None policy)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_rng_module
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            if ctx.resolve(node.func) == "numpy.random.default_rng":
+                yield self.violation(
+                    ctx, node,
+                    "default_rng() without a seed draws OS entropy; pass a "
+                    "seed or use repro.rng.as_generator",
+                )

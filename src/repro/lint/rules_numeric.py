@@ -1,0 +1,135 @@
+"""Numerical-safety rule family (SPICE201-SPICE202).
+
+Jarzynski work accounting amplifies small numerical mistakes: a float
+equality that "worked" on one platform gates a different branch on
+another, and an inline unit-conversion constant that drifts from the
+CODATA value skews every force it touches.  These rules push both
+hazards to the places built for them — tolerance comparisons and
+:mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .base import FileContext, Rule, Violation, register_rule
+
+__all__ = ["FloatEqualityRule", "MagicConstantRule"]
+
+#: Identifier words that mark an expression as a work/energy/force
+#: quantity (matched on snake_case words, not substrings, so
+#: ``n_workers`` and ``framework`` stay out of scope).
+_QUANTITY_WORDS = frozenset({
+    "work", "works", "energy", "energies", "force", "forces",
+    "pmf", "hamiltonian",
+})
+
+#: Comparator call names that make an equality check legitimate.
+_APPROX_CALLS = frozenset({"approx", "isclose", "allclose"})
+
+
+def _identifier_words(node: ast.AST) -> Set[str]:
+    """Snake-case words of the *outermost* identifier of ``node``.
+
+    Only the head names the quantity being compared: ``ens.works.shape``
+    is a shape (fine to compare exactly), ``ens.final_works()`` is work.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return set(node.attr.lower().split("_"))
+    if isinstance(node, ast.Name):
+        return set(node.id.lower().split("_"))
+    return set()
+
+
+def _is_approx_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else "")
+    return name in _APPROX_CALLS
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """No ``==`` / ``!=`` on work/energy/force expressions."""
+
+    id = "SPICE201"
+    name = "float equality on a physical quantity"
+    rationale = (
+        "work, energy, and force values are accumulated floats; exact "
+        "==/!= on them encodes platform- and optimization-dependent "
+        "behaviour (one fused multiply-add flips the branch).  Compare "
+        "with a tolerance (pytest.approx, numpy.isclose) or restructure "
+        "the branch"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_approx_call(o) for o in operands):
+                continue  # pytest.approx / isclose is the sanctioned idiom
+            for operand in operands:
+                if _identifier_words(operand) & _QUANTITY_WORDS:
+                    yield self.violation(
+                        ctx, node,
+                        "exact ==/!= on a work/energy/force expression; use "
+                        "a tolerance comparison (pytest.approx, np.isclose)",
+                    )
+                    break
+
+
+def _significant_digits(value: float) -> int:
+    """Significant decimal digits of ``value``'s shortest repr.
+
+    ``332.0637`` -> 7, ``1e-12`` -> 1, ``0.4`` -> 1, ``40.0`` -> 1.
+    """
+    mantissa = repr(abs(value)).split("e")[0].replace(".", "")
+    digits = mantissa.strip("0")
+    return len(digits) if digits else 0
+
+
+@register_rule
+class MagicConstantRule(Rule):
+    """No high-precision inline constants in physics modules."""
+
+    id = "SPICE202"
+    name = "unit-bearing magic constant"
+    rationale = (
+        "a float literal with >4 significant digits in md/smd/pore is "
+        "almost always a unit conversion or physical constant; inlining "
+        "it detaches the value from its unit documentation and lets "
+        "copies drift apart (the Coulomb constant vs its CODATA source). "
+        "Such constants belong in repro.units as named, documented "
+        "symbols; model parameters with deliberately tuned long decimals "
+        "carry an inline '# spice: noqa SPICE202' with justification"
+    )
+
+    #: Literals at or below 4 significant digits are treated as model
+    #: parameters / tolerances, not smuggled unit conversions.
+    max_digits = 4
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("md", "smd", "pore")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, float):
+                continue
+            digits = _significant_digits(node.value)
+            if digits > self.max_digits:
+                yield self.violation(
+                    ctx, node,
+                    f"float literal {node.value!r} has {digits} significant "
+                    f"digits; name it in repro.units with its unit and "
+                    f"provenance",
+                )

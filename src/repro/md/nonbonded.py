@@ -25,13 +25,11 @@ from typing import Optional, Set, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..units import COULOMB_CONSTANT
 from .kernels import accumulate_pair_forces, validate_kernel
 from .neighborlist import NeighborList
 
 __all__ = ["LennardJonesForce", "WCAForce", "DebyeHuckelForce", "COULOMB_CONSTANT"]
-
-#: Coulomb constant in kcal mol^-1 A e^-2 (vacuum).
-COULOMB_CONSTANT: float = 332.0637
 
 
 class LennardJonesForce:

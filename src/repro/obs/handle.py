@@ -14,7 +14,7 @@ names, which keeps the uninstrumented path allocation-free.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from typing import Any, Iterator, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -36,7 +36,7 @@ class Obs:
         Default clock for a freshly created tracer.
     """
 
-    enabled = True
+    enabled: bool = True
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
@@ -46,7 +46,8 @@ class Obs:
 
     # Thin conveniences so call sites read as one line.
 
-    def span(self, name: str, *, clock: Optional[Clock] = None, **attrs: Any):
+    def span(self, name: str, *, clock: Optional[Clock] = None,
+             **attrs: Any) -> AbstractContextManager[SpanRecord]:
         """Context manager timing a named span (see :meth:`Tracer.span`)."""
         return self.tracer.span(name, clock=clock, **attrs)
 
@@ -124,7 +125,7 @@ class _NullObs(Obs):
     """The do-nothing handle; a process-wide singleton is fine because it
     holds no mutable state at all."""
 
-    enabled = False
+    enabled: bool = False
 
     def __init__(self) -> None:
         super().__init__(metrics=_NullRegistry(), tracer=_NullTracer())

@@ -56,8 +56,8 @@ def build_translocation_simulation(
     n_bases: int = 12,
     geometry: PoreGeometry = DEFAULT_GEOMETRY,
     landscape: Optional[AxialLandscape] = None,
-    dna_params: SSDNAParameters = SSDNAParameters(),
-    solvent: ImplicitSolvent = ImplicitSolvent(),
+    dna_params: Optional[SSDNAParameters] = None,
+    solvent: Optional[ImplicitSolvent] = None,
     temperature: float = ROOM_TEMPERATURE,
     dt_ns: float = 2.0e-5,
     start_z: Optional[float] = None,
@@ -78,6 +78,10 @@ def build_translocation_simulation(
         Langevin timestep in ns (default 20 fs — safe for the CG force
         constants in use).
     """
+    if dna_params is None:
+        dna_params = SSDNAParameters()
+    if solvent is None:
+        solvent = ImplicitSolvent()
     if n_bases < 2:
         raise ConfigurationError("n_bases must be at least 2")
     rng = as_generator(seed)

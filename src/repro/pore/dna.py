@@ -18,7 +18,7 @@ so callers assemble the force stack they need (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class SSDNAParameters:
 
 def build_ssdna(
     n_bases: int,
-    params: SSDNAParameters = SSDNAParameters(),
+    params: Optional[SSDNAParameters] = None,
     start: Tuple[float, float, float] = (0.0, 0.0, 0.0),
     direction: Tuple[float, float, float] = (0.0, 0.0, -1.0),
     wiggle: float = 0.5,
@@ -74,6 +74,8 @@ def build_ssdna(
     charges : (n,) float array
     topology : Topology with FENE bond params ``(k, rmax)`` and angles.
     """
+    if params is None:
+        params = SSDNAParameters()
     if n_bases < 2:
         raise ConfigurationError(f"need at least 2 bases, got {n_bases}")
     rng = as_generator(seed)

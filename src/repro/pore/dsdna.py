@@ -19,7 +19,7 @@ singularity).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +71,7 @@ class DuplexSystem:
 
 def build_dsdna(
     n_basepairs: int,
-    params: DSDNAParameters = DSDNAParameters(),
+    params: Optional[DSDNAParameters] = None,
     start: Tuple[float, float, float] = (0.0, 0.0, 0.0),
     wiggle: float = 0.2,
     seed: SeedLike = None,
@@ -81,6 +81,8 @@ def build_dsdna(
     Layout: bead ``2i`` is strand A, bead ``2i + 1`` strand B of basepair
     ``i``; the strands spiral around the axis with the B-DNA twist.
     """
+    if params is None:
+        params = DSDNAParameters()
     if n_basepairs < 2:
         raise ConfigurationError("need at least 2 basepairs")
     rng = as_generator(seed)

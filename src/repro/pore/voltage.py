@@ -23,12 +23,9 @@ hiding it.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
-from ..units import AVOGADRO, KCAL_PER_JOULE_MOL
+from ..units import AVOGADRO, E_CHARGE, KCAL_PER_JOULE_MOL
 
 __all__ = ["tilt_from_voltage", "voltage_from_tilt"]
-
-#: Elementary charge in Coulomb.
-_E_CHARGE = 1.602176634e-19
 
 
 def tilt_from_voltage(
@@ -60,7 +57,7 @@ def tilt_from_voltage(
     if not (0.0 < effective_charge_fraction <= 1.0):
         raise ConfigurationError("effective_charge_fraction must be in (0, 1]")
     # Energy per charge crossing the full drop: e * V (J) -> kcal/mol.
-    ev_kcal = (_E_CHARGE * voltage_mv * 1e-3) * AVOGADRO * KCAL_PER_JOULE_MOL
+    ev_kcal = (E_CHARGE * voltage_mv * 1e-3) * AVOGADRO * KCAL_PER_JOULE_MOL
     force_per_charge = ev_kcal / membrane_thickness     # kcal/mol/A per charge
     charges_engaged = charge_per_length * membrane_thickness \
         * effective_charge_fraction

@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
 from ..pore.assembly import build_translocation_simulation
 from ..rng import SeedLike, as_generator, stream_for
 from .ensemble import PAPER_CPU_HOURS_PER_NS
@@ -39,6 +40,7 @@ def run_pulling_ensemble_3d(
     start_com_z: float = 20.0,
     seed: SeedLike = None,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
 ) -> WorkEnsemble:
     """Run ``n_samples`` independent 3-D pulls of the CG system.
 
@@ -47,12 +49,15 @@ def run_pulling_ensemble_3d(
     ``start_com_z`` on the pore axis, equilibrated briefly, then pulled.
 
     Records are aligned on the trap-displacement grid like the reduced
-    runner; works/positions are per-replica at each station.
+    runner; works/positions are per-replica at each station.  ``obs`` is
+    the instrumentation handle (read-only: spans and counters only, so
+    instrumented runs stay bit-identical).
     """
     if n_samples < 1:
         raise ConfigurationError("n_samples must be at least 1")
     if n_records < 2:
         raise ConfigurationError("n_records must be at least 2")
+    obs = as_obs(obs)
     base = as_generator(seed)
     master = int(base.integers(0, 2**31))
 
@@ -61,49 +66,55 @@ def run_pulling_ensemble_3d(
     displacements: Optional[np.ndarray] = None
     total_ns = 0.0
 
-    for rep in range(n_samples):
-        rng = stream_for(master, "smd3d", rep)
-        ts = build_translocation_simulation(
-            n_bases=n_bases,
-            start_z=start_com_z - (n_bases - 1) * 6.5 / 2.0,
-            seed=rng,
-        )
-        sim = ts.simulation
-        # Equilibrate before attaching the trap.
-        if protocol.equilibration_ns > 0:
-            sim.run_until(protocol.equilibration_ns)
-        # Anchor the trap at the replica's own current coordinate so every
-        # pull starts at zero stretch (equilibrium initial condition).
-        masses = sim.system.masses
-        a = np.asarray(axis, dtype=np.float64)
-        a = a / np.linalg.norm(a)
-        q0 = float((masses[ts.dna_indices] / masses[ts.dna_indices].sum())
-                   @ sim.system.positions[ts.dna_indices] @ a)
-        proto = protocol.with_start(q0)
-        smd = SMDPullingForce(proto, ts.dna_indices, masses, axis=a)
-        sim.forces.append(smd)
-        sim.invalidate_caches()
+    with obs.span("smd.ensemble3d", n_samples=n_samples, n_bases=n_bases):
+        for rep in range(n_samples):
+            rng = stream_for(master, "smd3d", rep)
+            ts = build_translocation_simulation(
+                n_bases=n_bases,
+                start_z=start_com_z - (n_bases - 1) * 6.5 / 2.0,
+                seed=rng,
+            )
+            sim = ts.simulation
+            # Equilibrate before attaching the trap.
+            if protocol.equilibration_ns > 0:
+                sim.run_until(protocol.equilibration_ns)
+            # Anchor the trap at the replica's own current coordinate so every
+            # pull starts at zero stretch (equilibrium initial condition).
+            masses = sim.system.masses
+            a = np.asarray(axis, dtype=np.float64)
+            a = a / np.linalg.norm(a)
+            q0 = float((masses[ts.dna_indices] / masses[ts.dna_indices].sum())
+                       @ sim.system.positions[ts.dna_indices] @ a)
+            proto = protocol.with_start(q0)
+            smd = SMDPullingForce(proto, ts.dna_indices, masses, axis=a)
+            sim.forces.append(smd)
+            sim.invalidate_caches()
 
-        n_steps = int(np.ceil(proto.duration_ns / sim.integrator.dt))
-        stride = max(n_steps // 400, 1)
-        recorder = SMDWorkRecorder(smd, record_stride=stride)
-        sim.add_reporter(recorder)
-        sim.step(n_steps)
+            n_steps = int(np.ceil(proto.duration_ns / sim.integrator.dt))
+            stride = max(n_steps // 400, 1)
+            recorder = SMDWorkRecorder(smd, record_stride=stride)
+            sim.add_reporter(recorder)
+            sim.step(n_steps)
 
-        arrays = recorder.arrays()
-        grid = np.linspace(0.0, proto.distance, n_records)
-        # Interpolate the recorded series onto the common displacement grid.
-        disp = arrays["displacements"]
-        order = np.argsort(disp)
-        works[rep] = np.interp(grid, disp[order], arrays["works"][order])
-        positions[rep] = np.interp(grid, disp[order],
-                                   arrays["coordinates"][order])
-        works[rep] -= works[rep][0]
-        if displacements is None:
-            displacements = grid
-        total_ns += proto.duration_ns + protocol.equilibration_ns
+            arrays = recorder.arrays()
+            grid = np.linspace(0.0, proto.distance, n_records)
+            # Interpolate the recorded series onto the common displacement
+            # grid.
+            disp = arrays["displacements"]
+            order = np.argsort(disp)
+            works[rep] = np.interp(grid, disp[order], arrays["works"][order])
+            positions[rep] = np.interp(grid, disp[order],
+                                       arrays["coordinates"][order])
+            works[rep] -= works[rep][0]
+            if displacements is None:
+                displacements = grid
+            total_ns += proto.duration_ns + protocol.equilibration_ns
 
     assert displacements is not None
+    if obs.enabled:
+        obs.metrics.inc("smd.je_samples_3d", n_samples)
+        obs.metrics.inc("smd.sim_ns", total_ns)
+        obs.metrics.inc("smd.cpu_hours", total_ns * cpu_hours_per_ns)
     return WorkEnsemble(
         protocol=protocol,
         displacements=displacements,

@@ -27,6 +27,8 @@ import math
 __all__ = [
     "KB",
     "AVOGADRO",
+    "E_CHARGE",
+    "COULOMB_CONSTANT",
     "KCAL_PER_JOULE_MOL",
     "PN_ANGSTROM_TO_KCAL",
     "MASS_TO_KCAL",
@@ -45,6 +47,13 @@ KB: float = 0.001987204259
 
 #: Avogadro's number, 1/mol.
 AVOGADRO: float = 6.02214076e23
+
+#: Elementary charge in coulomb (exact since the 2019 SI redefinition).
+E_CHARGE: float = 1.602176634e-19
+
+#: Coulomb constant in kcal mol^-1 A e^-2 (vacuum): the prefactor of
+#: ``q_i q_j / r`` with charges in elementary units and r in angstrom.
+COULOMB_CONSTANT: float = 332.0637
 
 #: kcal/mol per J/mol.
 KCAL_PER_JOULE_MOL: float = 1.0 / 4184.0

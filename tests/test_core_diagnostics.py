@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.diagnostics import (
+from repro.core import (
     ConvergenceReport,
     convergence_report,
     dominance,

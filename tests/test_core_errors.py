@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    PMFEstimate,
     analyze_ensemble,
     bootstrap_statistical_error,
     cost_normalization_factor,
@@ -11,7 +12,6 @@ from repro.core import (
     pairwise_consistency,
     systematic_error,
 )
-from repro.core.pmf import PMFEstimate
 from repro.errors import AnalysisError, ConfigurationError
 
 

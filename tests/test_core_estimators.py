@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import (
+# This suite unit-tests the raw estimators themselves, so bypassing the
+# estimate_free_energy front door is the point.
+from repro.core import (  # spice: noqa SPICE102
     available_estimators,
     block_estimator,
     cumulant_estimator,

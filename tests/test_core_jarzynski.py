@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import (
+# Exact-result tests of the raw estimators; bypassing the
+# estimate_free_energy front door is deliberate here.
+from repro.core import (  # spice: noqa SPICE102
     block_estimator,
     cumulant_estimator,
     exponential_estimator,

@@ -4,9 +4,12 @@ headline reproduction assertion that (100, 12.5) wins."""
 import numpy as np
 import pytest
 
-from repro.core import run_parameter_study, select_optimal
-from repro.core.error_analysis import ErrorBudget
-from repro.core.pmf import PMFEstimate
+from repro.core import (
+    ErrorBudget,
+    PMFEstimate,
+    run_parameter_study,
+    select_optimal,
+)
 from repro.errors import AnalysisError, ConfigurationError
 from repro.smd import PullingProtocol, parameter_grid
 

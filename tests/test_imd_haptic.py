@@ -31,10 +31,10 @@ class TestHapticDevice:
 
     def test_feedback_range(self):
         d = HapticDevice()
-        assert d.felt_force_range() == (0.0, 0.0)
+        assert d.felt_force_range() == pytest.approx((0.0, 0.0))
         d.feel(0.0, 3.0)
         d.feel(1.0, 7.0)
-        assert d.felt_force_range() == (3.0, 7.0)
+        assert d.felt_force_range() == pytest.approx((3.0, 7.0))
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

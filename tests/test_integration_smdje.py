@@ -3,7 +3,7 @@ cases — the scientific core of the reproduction."""
 
 import numpy as np
 
-from repro.core import estimate_pmf, exponential_estimator
+from repro.core import estimate_free_energy, estimate_pmf
 from repro.pore import AxialLandscape, ReducedTranslocationModel
 from repro.smd import (
     PullingProtocol,
@@ -64,7 +64,8 @@ class TestEstimatorHierarchy:
                                    force_sample_time=None)
         ref = reduced_model.reference_pmf(-5.0 + ens.displacements)
         final_ref = ref[-1]
-        je = exponential_estimator(ens.final_works(), ens.temperature)
+        je = estimate_free_energy(ens.final_works(), ens.temperature,
+                                  method="exponential")
         naive = float(ens.final_works().mean())
         assert abs(je - final_ref) < abs(naive - final_ref)
 

@@ -1,0 +1,164 @@
+"""End-to-end tests for ``python -m repro lint``: the self-check gate,
+exit codes, the JSON report schema, and the suppression channels."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import (
+    SCHEMA_LINT,
+    build_lint_report,
+    lint_paths,
+    select_rules,
+    validate_lint_report,
+)
+
+
+class TestSelfCheck:
+    def test_repo_tree_is_clean(self, capsys):
+        # The gate the CI lint job enforces: the checked-in tree passes
+        # its own linter.
+        assert main(["lint", "src", "tests", "examples"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_seeded_violation_fails_the_gate(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "SPICE001" in out
+
+    def test_missing_path_is_an_error_not_a_pass(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 1
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+
+
+class TestJsonReport:
+    def test_json_output_validates_against_schema(self, capsys):
+        assert main(["lint", "--json", "src", "tests", "examples"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == SCHEMA_LINT
+        validate_lint_report(doc)  # must not raise
+        assert doc["clean"] is True
+        assert doc["counts"]["total"] == 0
+        assert doc["files_scanned"] > 0
+        assert {r["id"] for r in doc["rules"]} >= {"SPICE001", "SPICE202"}
+
+    def test_violations_appear_in_the_report(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.seed(1)\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_lint_report(doc)
+        assert doc["clean"] is False
+        assert doc["counts"]["by_rule"]["SPICE001"] == 1
+        (violation,) = doc["violations"]
+        assert violation["rule"] == "SPICE001"
+        assert violation["line"] == 2
+
+    def test_malformed_report_is_rejected(self):
+        result = lint_paths(["src/repro/lint"])
+        doc = build_lint_report(result, ["src/repro/lint"])
+        doc["counts"]["total"] += 1
+        with pytest.raises(LintError, match="counts"):
+            validate_lint_report(doc)
+
+    def test_missing_field_is_rejected(self):
+        result = lint_paths(["src/repro/lint"])
+        doc = build_lint_report(result, ["src/repro/lint"])
+        del doc["suppressions"]
+        with pytest.raises(LintError, match="suppressions"):
+            validate_lint_report(doc)
+
+
+class TestSelectIgnore:
+    def test_select_restricts_to_a_family(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        clean = lint_paths([str(bad)], select=("SPICE2",))
+        assert clean.violations == []
+        hits = lint_paths([str(bad)], select=("SPICE001",))
+        assert [v.rule for v in hits.violations] == ["SPICE001"]
+
+    def test_ignore_drops_a_rule(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        result = lint_paths([str(bad)], ignore=("SPICE001",))
+        assert result.violations == []
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(LintError, match="SPICE9"):
+            select_rules(select=("SPICE9",))
+
+    def test_cli_surfaces_unknown_prefix_as_exit_1(self, capsys):
+        assert main(["lint", "--select", "SPICE9", "src"]) == 1
+        assert "SPICE9" in capsys.readouterr().err
+
+
+class TestBaseline:
+    def _seed_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "md"
+        pkg.mkdir(parents=True)
+        (pkg / "foo.py").write_text("KC = 332.0637\n")
+        return pkg
+
+    def test_baseline_entry_suppresses_matching_violation(self, tmp_path):
+        self._seed_tree(tmp_path)
+        (tmp_path / "bl.txt").write_text(
+            "# standing exception\n"
+            "SPICE202\tsrc/repro/md/foo.py\tKC = 332.0637\n")
+        result = lint_paths(["src"], root=str(tmp_path), baseline="bl.txt")
+        assert result.violations == []
+        assert result.suppressed_baseline == 1
+        assert result.baseline_unused == []
+
+    def test_stale_entry_is_reported_unused(self, tmp_path):
+        # The covered line was fixed but the entry lingers: flagged so the
+        # baseline only shrinks deliberately.
+        self._seed_tree(tmp_path)
+        (tmp_path / "bl.txt").write_text(
+            "SPICE202\tsrc/repro/md/foo.py\tKC = 332.0637\n"
+            "SPICE202\tsrc/repro/md/foo.py\tOLD = 1.234567\n")
+        result = lint_paths(["src"], root=str(tmp_path), baseline="bl.txt")
+        assert result.violations == []
+        assert len(result.baseline_unused) == 1
+        assert result.baseline_unused[0].source == "OLD = 1.234567"
+
+    def test_entry_for_unscanned_file_not_called_stale(self, tmp_path):
+        # A partial-path run must not nag about baseline entries covering
+        # files outside the scanned set.
+        pkg = self._seed_tree(tmp_path)
+        (pkg / "other.py").write_text("Z = 9.876543\n")
+        (tmp_path / "bl.txt").write_text(
+            "SPICE202\tsrc/repro/md/foo.py\tKC = 332.0637\n"
+            "SPICE202\tsrc/repro/md/other.py\tZ = 9.876543\n")
+        result = lint_paths(["src/repro/md/foo.py"], root=str(tmp_path),
+                            baseline="bl.txt")
+        assert result.violations == []
+        assert result.baseline_unused == []
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        self._seed_tree(tmp_path)
+        (tmp_path / "bl.txt").write_text("SPICE202 no tabs here\n")
+        with pytest.raises(LintError, match="bl.txt:1"):
+            lint_paths(["src"], root=str(tmp_path), baseline="bl.txt")
+
+    def test_missing_baseline_means_no_exceptions(self, tmp_path):
+        self._seed_tree(tmp_path)
+        result = lint_paths(["src"], root=str(tmp_path), baseline="bl.txt")
+        assert [v.rule for v in result.violations] == ["SPICE202"]
+
+
+class TestObsIntegration:
+    def test_lint_run_is_observable(self):
+        from repro.obs import Obs
+
+        obs = Obs()
+        lint_paths(["src/repro/lint"], obs=obs)
+        assert obs.metrics.gauge("lint.files_scanned").value >= 5
+        names = [s.name for s in obs.tracer.records]
+        assert "lint.run" in names

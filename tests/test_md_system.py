@@ -55,7 +55,7 @@ class TestConstruction:
 
 class TestPhysics:
     def test_kinetic_energy_zero_at_rest(self):
-        assert make().kinetic_energy() == 0.0
+        assert make().kinetic_energy() == pytest.approx(0.0)
 
     def test_temperature_after_init(self):
         s = make(2000, seed=1)

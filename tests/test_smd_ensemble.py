@@ -4,7 +4,7 @@ validations that anchor the Fig. 4 reproduction."""
 import numpy as np
 import pytest
 
-from repro.core import exponential_estimator
+from repro.core import estimate_free_energy
 from repro.errors import ConfigurationError
 from repro.pore import AxialLandscape, ReducedTranslocationModel
 from repro.smd import PullingProtocol, run_pulling_ensemble
@@ -66,7 +66,8 @@ class TestPhysics:
                                 equilibration_ns=0.02)
         ens = run_pulling_ensemble(model, proto, n_samples=128, seed=4,
                                    force_sample_time=None)
-        dF = exponential_estimator(ens.final_works(), 300.0)
+        dF = estimate_free_energy(ens.final_works(), 300.0,
+                                  method="exponential")
         assert abs(dF) < 0.5  # within ~kT of zero
         assert ens.final_works().mean() > 0.5  # while mean work is clearly positive
 

@@ -1,5 +1,7 @@
 """Tests for pulling protocols and the parameter grid."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -56,7 +58,7 @@ class TestPullingProtocol:
 
     def test_frozen(self):
         p = PullingProtocol(kappa_pn=100.0, velocity=12.5)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             p.velocity = 25.0
 
 
