@@ -28,6 +28,9 @@ Subpackages
 ``repro.obs``
     Observability: metrics, tracing, exporters and run reports, threaded
     through every subsystem via an explicit ``obs=`` handle.
+``repro.store``
+    Content-addressed result store: canonical task fingerprints,
+    crash-consistent records, deterministic campaign resume.
 ``repro.analysis``
     Series/table/ASCII-plot emitters for every paper figure.
 """

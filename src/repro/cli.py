@@ -163,22 +163,51 @@ def cmd_fig4(args) -> CommandResult:
     })
 
 
+def _campaign_store(args, obs):
+    """Resolve the ``--store`` / ``--resume`` flags to a ResultStore.
+
+    Guard rails: ``--resume`` without a store directory is meaningless,
+    and a store that already holds records is only consumed under an
+    explicit ``--resume`` — never silently, since a hit suppresses
+    recomputation.
+    """
+    from .errors import ConfigurationError
+    from .store import ResultStore
+
+    store_dir = getattr(args, "store", None)
+    resume = getattr(args, "resume", False)
+    if resume and not store_dir:
+        raise ConfigurationError("--resume requires --store DIR")
+    if not store_dir:
+        return None
+    store = ResultStore(store_dir, obs=obs)
+    if len(store) and not resume:
+        raise ConfigurationError(
+            f"store at {store_dir!r} already holds {len(store)} record(s); "
+            "pass --resume to resume from them, or point --store at a "
+            "fresh directory")
+    return store
+
+
 def _run_instrumented_campaign(args):
     """Shared by ``campaign`` and ``report``: run the three-phase campaign
     under a fresh obs handle and assemble its run report.
 
     Instrumentation is read-only (no RNG draws, no scheduled events), so
     the result is bit-identical to an uninstrumented run with the same
-    seed.
+    seed.  With ``--store`` every (cell, replica) task is memoized on
+    disk; ``--resume`` re-runs a killed campaign from those records,
+    recomputing only the missing tasks, with a bit-identical outcome.
     """
     from .obs import Obs, campaign_run_report
     from .workflow import SpiceCampaign
 
     obs = Obs()
+    store = _campaign_store(args, obs)
     result = SpiceCampaign(replicas_per_cell=args.replicas,
-                           seed=args.seed, obs=obs).run()
-    report = campaign_run_report(result, obs, command=args.command,
-                                 seed=args.seed)
+                           seed=args.seed, obs=obs, store=store).run()
+    report = campaign_run_report(result, obs, store=store,
+                                 command=args.command, seed=args.seed)
     return result, report
 
 
@@ -399,12 +428,28 @@ COMMANDS: Dict[str, CommandSpec] = {
         ),
         CommandSpec(
             "campaign", "three-phase SPICE campaign", cmd_campaign,
-            args=(_arg("--replicas", type=int, default=6),),
+            args=(
+                _arg("--replicas", type=int, default=6),
+                _arg("--store", default=None, metavar="DIR",
+                     help="content-addressed result store: memoize every "
+                          "(cell, replica) task under DIR"),
+                _arg("--resume", action="store_true",
+                     help="resume from existing records in --store DIR "
+                          "(recomputes only missing tasks, bit-identical "
+                          "result)"),
+            ),
         ),
         CommandSpec(
             "report", "instrumented campaign rendered as a run report",
             cmd_report,
-            args=(_arg("--replicas", type=int, default=6),),
+            args=(
+                _arg("--replicas", type=int, default=6),
+                _arg("--store", default=None, metavar="DIR",
+                     help="content-addressed result store: memoize every "
+                          "(cell, replica) task under DIR"),
+                _arg("--resume", action="store_true",
+                     help="resume from existing records in --store DIR"),
+            ),
         ),
         CommandSpec(
             "qos", "IMD interactivity vs network QoS", cmd_qos,

@@ -20,7 +20,7 @@ from ..errors import AnalysisError, ConfigurationError
 from ..obs import Obs
 from ..pore.reduced import ReducedTranslocationModel
 from ..rng import stream_for
-from ..smd.ensemble import run_pulling_ensemble
+from ..smd.ensemble import run_pulling_ensemble, run_work_ensemble
 from ..smd.protocol import PullingProtocol, parameter_grid
 from ..smd.work import WorkEnsemble
 from .error_analysis import ErrorBudget, analyze_ensemble, pairwise_consistency
@@ -73,6 +73,8 @@ def run_parameter_study(
     seed: int = 2005,
     consistency_tolerance: float = 2.0,
     obs: Optional[Obs] = None,
+    store=None,
+    samples_per_task: Optional[int] = None,
 ) -> ParameterStudyResult:
     """Run the full (kappa, v) grid study on the reduced model.
 
@@ -83,6 +85,14 @@ def run_parameter_study(
 
     ``consistency_tolerance`` (kcal/mol) is the "insignificant difference"
     threshold used by the velocity tie-break (Section IV-C).
+
+    ``samples_per_task`` switches each cell to the restartable
+    :func:`~repro.smd.ensemble.run_work_ensemble` decomposition
+    (``n_samples / samples_per_task`` tasks, each its own RNG stream and —
+    with ``store`` attached — its own store record).  It must divide
+    ``n_samples`` evenly.  ``None`` keeps the historical monolithic
+    per-cell streams, bit-identical to earlier releases; a ``store`` then
+    memoizes at whole-cell granularity.
     """
     if protocols is None:
         protocols = parameter_grid()
@@ -91,6 +101,11 @@ def run_parameter_study(
     grids = {(p.distance, p.start_z) for p in protocols}
     if len(grids) != 1:
         raise ConfigurationError("all protocols must share distance and start")
+    if samples_per_task is not None and (
+            samples_per_task < 1 or n_samples % samples_per_task):
+        raise ConfigurationError(
+            f"samples_per_task ({samples_per_task}) must divide "
+            f"n_samples ({n_samples}) evenly")
 
     reference_velocity = min(p.velocity for p in protocols)
 
@@ -102,11 +117,20 @@ def run_parameter_study(
 
     for proto in protocols:
         key = (proto.kappa_pn, proto.velocity)
-        cell_rng = stream_for(seed, "cell", int(proto.kappa_pn * 1000), int(proto.velocity * 1000))
-        ens = run_pulling_ensemble(
-            model, proto, n_samples=n_samples, n_records=n_records,
-            seed=cell_rng, obs=obs,
-        )
+        cell_labels = ("cell", int(proto.kappa_pn * 1000),
+                       int(proto.velocity * 1000))
+        if samples_per_task is not None:
+            ens = run_work_ensemble(
+                model, proto, n_samples // samples_per_task,
+                samples_per_task, base_seed=seed, labels=cell_labels,
+                store=store, n_records=n_records, obs=obs,
+            )
+        else:
+            ens = run_pulling_ensemble(
+                model, proto, n_samples=n_samples, n_records=n_records,
+                seed=stream_for(seed, *cell_labels), obs=obs,
+                store=store, store_key=(seed, *cell_labels),
+            )
         ensembles[key] = ens
         estimates[key] = estimate_pmf(ens, estimator=estimator)
         if ref_disp is None:

@@ -22,6 +22,9 @@ __all__ = [
     "CheckpointError",
     "AnalysisError",
     "LintError",
+    "StoreError",
+    "StoreCorruptionError",
+    "CampaignInterrupted",
 ]
 
 
@@ -98,6 +101,26 @@ class CheckpointError(ReproError):
 
 class AnalysisError(ReproError):
     """Analysis-layer failure (incompatible grids, empty ensembles)."""
+
+
+class StoreError(ReproError):
+    """Result-store failure that is not data corruption: an unusable store
+    directory, an unfingerprintable task (e.g. a bare generator seed with no
+    ``store_key``), or a fingerprint/serialization request over values the
+    canonical form cannot represent (NaN, non-string keys)."""
+
+
+class StoreCorruptionError(StoreError):
+    """A persisted result record failed validation on read (truncated JSON,
+    wrong schema tag, fingerprint mismatch, malformed payload).  The store
+    catches this internally to evict the record; it only propagates when a
+    record is read directly via :meth:`repro.store.ResultStore.read_record`."""
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign was killed mid-flight (the chaos harness's process-death
+    fault).  Completed result records survive in the store; re-running the
+    same campaign against the same store resumes from them."""
 
 
 class LintError(ReproError):

@@ -11,8 +11,8 @@ carries makespan, waits and utilization for the batch-phase benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..obs import Obs, as_obs
@@ -89,10 +89,12 @@ class CampaignReport:
     per_resource_jobs: Dict[str, int]
     per_resource_utilization: Dict[str, float]
     requeues: int
+    #: Jobs satisfied from the result store without scheduling (resume).
+    short_circuited: List[Job] = field(default_factory=list)
 
     @property
     def all_completed(self) -> bool:
-        return not self.unplaced and bool(self.completed)
+        return not self.unplaced and bool(self.completed or self.short_circuited)
 
     @property
     def mean_wait_hours(self) -> float:
@@ -132,6 +134,7 @@ class CampaignManager:
         self.requeue_check_hours = float(requeue_check_hours)
         self.unplaced: List[Job] = []
         self._jobs: List[Job] = []
+        self._short_circuited: List[Job] = []
         self._obs = as_obs(obs)
         self._resil = resil
         #: (retry_at_hours, job) — placements waiting on backoff.
@@ -274,9 +277,25 @@ class CampaignManager:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, jobs: Sequence[Job], until: Optional[float] = None) -> CampaignReport:
-        """Place all jobs, run the loop to completion, return the report."""
-        self._jobs = list(jobs)
+    def run(self, jobs: Sequence[Job], until: Optional[float] = None,
+            completed: Optional[Iterable[str]] = None) -> CampaignReport:
+        """Place all jobs, run the loop to completion, return the report.
+
+        ``completed`` names jobs whose results already exist (a resumed
+        campaign's store records): they are marked ``COMPLETED`` without
+        ever entering a queue, counted under ``grid.shortcircuited`` and
+        reported in :attr:`CampaignReport.short_circuited` — they consume
+        no grid capacity and contribute no CPU-hours this run.
+        """
+        done_names = set(completed) if completed is not None else set()
+        self._short_circuited = [j for j in jobs if j.name in done_names]
+        for job in self._short_circuited:
+            job.state = JobState.COMPLETED
+            job.completed_fraction = 1.0
+        if self._obs.enabled and self._short_circuited:
+            self._obs.metrics.inc("grid.shortcircuited",
+                                  len(self._short_circuited))
+        self._jobs = [j for j in jobs if j.name not in done_names]
         if self._resil is not None:
             self._resil.bind(self.federation)
         with self._obs.span("grid.campaign", clock=getattr(self.loop, "clock", None),
@@ -388,4 +407,5 @@ class CampaignManager:
             per_resource_jobs=per_resource,
             per_resource_utilization=util,
             requeues=sum(j.requeues for j in self._jobs),
+            short_circuited=list(self._short_circuited),
         )

@@ -44,7 +44,8 @@ from .export import (
     spans_to_csv,
     write_json,
 )
-from .report import REPORT_SCHEMA, campaign_run_report, render_run_report
+from .report import (REPORT_SCHEMA, campaign_run_report,
+                     canonical_run_report, render_run_report)
 
 __all__ = [
     "Counter",
@@ -67,5 +68,6 @@ __all__ = [
     "spans_to_csv",
     "REPORT_SCHEMA",
     "campaign_run_report",
+    "canonical_run_report",
     "render_run_report",
 ]

@@ -15,15 +15,27 @@ The result object is duck-typed (anything with ``.batch.campaign`` and
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Optional
 
 from .handle import Obs, as_obs
 from .metrics import Histogram
 
-__all__ = ["campaign_run_report", "render_run_report", "REPORT_SCHEMA"]
+__all__ = ["campaign_run_report", "canonical_run_report",
+           "render_run_report", "REPORT_SCHEMA"]
 
 #: Version tag embedded in every report so downstream tooling can evolve.
 REPORT_SCHEMA = "repro.obs.run_report/v1"
+
+#: Report fields that legitimately differ between two runs computing the
+#: same campaign — host wall-clock rates, and work-performed counters that
+#: shrink when a resumed run serves tasks from the store.  Everything
+#: *outside* these lists is content-determined and must be bit-identical
+#: between an uninterrupted run and an interrupt-plus-resume run.
+_VOLATILE_ROOT = ("generated_at", "elapsed_s")
+_VOLATILE_PHYSICS = ("je_samples", "sim_ns", "ensemble_wall_s",
+                     "je_samples_per_sec")
+_VOLATILE_COST = ("smd_cpu_hours",)
 
 
 def _site_wait_stats(obs: Obs, campaign) -> Dict[str, dict]:
@@ -109,7 +121,7 @@ def _resil_stats(obs: Obs) -> Dict[str, Any]:
     return section
 
 
-def campaign_run_report(result, obs: Optional[Obs] = None,
+def campaign_run_report(result, obs: Optional[Obs] = None, store=None,
                         **extra: Any) -> dict:
     """Build the run report for a completed SPICE campaign.
 
@@ -121,6 +133,13 @@ def campaign_run_report(result, obs: Optional[Obs] = None,
     obs:
         The handle the run was instrumented with; ``None`` degrades
         gracefully to whatever the result object alone can supply.
+    store:
+        Optional result store the campaign ran against (duck-typed:
+        ``len()``, ``content_digest()``, ``stats()``).  Contributes a
+        ``store`` section: record count and content digest are determined
+        purely by the completed work (so they survive
+        :func:`canonical_run_report`), while the hit/miss ``traffic``
+        counters describe *this* run and are canonically volatile.
     extra:
         Caller context merged into the document root (command, seed, ...).
     """
@@ -172,7 +191,37 @@ def campaign_run_report(result, obs: Optional[Obs] = None,
         "cost": cost,
         "resilience": _resil_stats(obs),
     }
+    if store is not None:
+        report["store"] = {
+            "records": len(store),
+            "content_digest": store.content_digest(),
+            "traffic": store.stats(),
+        }
     return report
+
+
+def canonical_run_report(report: dict) -> dict:
+    """The content-determined core of a run report.
+
+    Strips the fields two equivalent runs may legitimately disagree on —
+    wall-clock rates, work-performed counters, cache traffic — leaving a
+    document that must be **bit-identical** between an uninterrupted
+    campaign and the same campaign interrupted and resumed from its store.
+    The resume tests serialize this with :func:`repro.store.canonical_json`
+    and compare bytes.
+    """
+    out = copy.deepcopy(report)
+    for key in _VOLATILE_ROOT:
+        out.pop(key, None)
+    if isinstance(out.get("physics"), dict):
+        for key in _VOLATILE_PHYSICS:
+            out["physics"].pop(key, None)
+    if isinstance(out.get("cost"), dict):
+        for key in _VOLATILE_COST:
+            out["cost"].pop(key, None)
+    if isinstance(out.get("store"), dict):
+        out["store"].pop("traffic", None)
+    return out
 
 
 def render_run_report(report: dict) -> str:
@@ -240,6 +289,23 @@ def render_run_report(report: dict) -> str:
         f"  DES events {cost.get('des_events', 0):.0f}  "
         f"unplaced jobs {cost.get('unplaced_jobs', 0)}"
     )
+
+    store = report.get("store")
+    if store:
+        lines.append("")
+        lines.append("store:")
+        lines.append(
+            f"  {store.get('records', 0)} record(s)  "
+            f"digest {str(store.get('content_digest', ''))[:16]}"
+        )
+        traffic = store.get("traffic", {})
+        if traffic:
+            lines.append(
+                f"  hits {traffic.get('hits', 0)}  "
+                f"misses {traffic.get('misses', 0)}  "
+                f"writes {traffic.get('writes', 0)}  "
+                f"corrupt evicted {traffic.get('corrupt_evicted', 0)}"
+            )
 
     resilience = report.get("resilience", {})
     if resilience:

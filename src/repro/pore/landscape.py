@@ -81,6 +81,17 @@ class AxialLandscape:
         terms = list(zip(self._amp * factor, self._center, self._width))
         return AxialLandscape(terms, tilt=self.tilt * factor)
 
+    def fingerprint_data(self) -> dict:
+        """Canonical parameter description for result-store fingerprints
+        (see :mod:`repro.store.fingerprint`): every number that enters
+        :meth:`value`/:meth:`derivative`, in construction order."""
+        return {
+            "kind": "axial-landscape",
+            "terms": [[float(a), float(c), float(w)]
+                      for a, c, w in zip(self._amp, self._center, self._width)],
+            "tilt": float(self.tilt),
+        }
+
 
 def default_hemolysin_landscape(tilt: float = 0.0) -> AxialLandscape:
     """Per-bead axial landscape for the default hemolysin geometry.

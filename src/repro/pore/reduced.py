@@ -119,6 +119,28 @@ class ReducedTranslocationModel:
         du = np.asarray(self.potential.derivative(z), dtype=np.float64)
         return float(np.max(np.abs(np.gradient(du, z))))
 
+    def fingerprint_data(self) -> dict:
+        """Canonical parameter description for result-store fingerprints.
+
+        Requires the potential to expose ``fingerprint_data()`` itself
+        (as :class:`~repro.pore.landscape.AxialLandscape` does); an opaque
+        potential cannot be content-addressed.
+        """
+        describe = getattr(self.potential, "fingerprint_data", None)
+        if describe is None:
+            from ..errors import StoreError
+
+            raise StoreError(
+                f"potential {type(self.potential).__name__} has no "
+                "fingerprint_data(); the result store cannot address it"
+            )
+        return {
+            "kind": "reduced-translocation",
+            "potential": describe(),
+            "friction": float(self.friction),
+            "temperature": float(self.temperature),
+        }
+
     # -- ensemble dynamics -----------------------------------------------------
 
     def step_ensemble(

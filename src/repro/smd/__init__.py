@@ -16,6 +16,7 @@ from .work import WorkEnsemble
 from .ensemble import (
     run_pulling_ensemble,
     run_pulling_ensemble_parallel,
+    run_work_ensemble,
     DEFAULT_SHARD_SIZE,
     PAPER_CPU_HOURS_PER_NS,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "WorkEnsemble",
     "run_pulling_ensemble",
     "run_pulling_ensemble_parallel",
+    "run_work_ensemble",
     "run_pulling_ensemble_3d",
     "DEFAULT_SHARD_SIZE",
     "PAPER_CPU_HOURS_PER_NS",

@@ -29,7 +29,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StoreError
 from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
 from ..rng import SeedLike, as_generator, as_seed_int, stream_for
@@ -39,6 +39,7 @@ from .work import WorkEnsemble
 __all__ = [
     "run_pulling_ensemble",
     "run_pulling_ensemble_parallel",
+    "run_work_ensemble",
     "PAPER_CPU_HOURS_PER_NS",
     "DEFAULT_FORCE_SAMPLE_TIME",
     "DEFAULT_SHARD_SIZE",
@@ -59,6 +60,26 @@ DEFAULT_FORCE_SAMPLE_TIME: float = 2.0e-3
 DEFAULT_SHARD_SIZE: int = 8
 
 
+def _store_seed_key(seed, store_key):
+    """Fingerprintable identity of this ensemble's RNG stream.
+
+    Caching is only sound when the seed identity is content-addressable:
+    an integer seed, or an explicit ``store_key`` naming the
+    :func:`repro.rng.stream_for` labels the caller derived ``seed`` from.
+    A bare generator has no such identity, so it is refused rather than
+    silently producing irreproducible cache keys.
+    """
+    if store_key is not None:
+        return store_key
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return int(seed)
+    raise StoreError(
+        "result-store caching needs a deterministic seed identity: pass an "
+        "int seed, or store_key=(base_seed, *labels) matching the "
+        "stream_for() derivation of the generator"
+    )
+
+
 def run_pulling_ensemble(
     model: ReducedTranslocationModel,
     protocol: PullingProtocol,
@@ -69,6 +90,8 @@ def run_pulling_ensemble(
     seed: SeedLike = None,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
     obs: Optional[Obs] = None,
+    store=None,
+    store_key=None,
 ) -> WorkEnsemble:
     """Run ``n_samples`` constant-velocity pulls and collect work curves.
 
@@ -95,11 +118,37 @@ def run_pulling_ensemble(
         and ``smd.je_samples`` / ``smd.sim_ns`` / ``smd.cpu_hours``
         counters accumulate across ensembles.  Observation never touches
         the RNG, so instrumented runs are bit-identical to bare ones.
+    store:
+        Optional :class:`repro.store.ResultStore`.  The run is memoized
+        under its task fingerprint: a hit returns the persisted ensemble
+        (byte-identical to recomputation, because the RNG stream is part of
+        the fingerprint), a miss computes and persists before returning.
+        Work counters (``smd.je_samples`` etc.) only accumulate on misses —
+        they measure computation actually performed.
+    store_key:
+        Seed identity for fingerprinting when ``seed`` is a generator:
+        the ``(base_seed, *labels)`` tuple it was derived from via
+        :func:`repro.rng.stream_for`.  Integer seeds need no key.  The
+        caller must pass the generator *unconsumed* — the fingerprint
+        asserts the stream's identity, not its state.
     """
     if n_samples < 1:
         raise ConfigurationError("n_samples must be at least 1")
     if n_records < 2:
         raise ConfigurationError("n_records must be at least 2")
+    if store is not None:
+        from ..store import pulling_task
+
+        task = pulling_task(
+            model, protocol, n_samples=n_samples, n_records=n_records,
+            force_sample_time=force_sample_time, dt=dt,
+            cpu_hours_per_ns=cpu_hours_per_ns,
+            seed_key=_store_seed_key(seed, store_key),
+        )
+        return store.get_or_run(task, lambda: run_pulling_ensemble(
+            model, protocol, n_samples, dt=dt, n_records=n_records,
+            force_sample_time=force_sample_time, seed=seed,
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs))
     obs = as_obs(obs)
     rng = as_generator(seed)
 
@@ -232,6 +281,8 @@ def run_pulling_ensemble_parallel(
     seed: SeedLike = None,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
     obs: Optional[Obs] = None,
+    store=None,
+    store_key=None,
 ) -> WorkEnsemble:
     """Run a pulling ensemble as independent shards, optionally in parallel.
 
@@ -270,6 +321,13 @@ def run_pulling_ensemble_parallel(
         ``smd.cpu_hours`` counters accumulate in the parent process
         (workers run uninstrumented — observation must not change
         results, and it does not survive pickling anyway).
+    store / store_key:
+        Optional result-store memoization, as in
+        :func:`run_pulling_ensemble`.  The fingerprint includes the shard
+        size under ``executor`` — the sharded runner's RNG layout differs
+        from the serial runner's, so the two never share records.
+        ``n_workers`` is execution placement, not identity, and is
+        deliberately *not* fingerprinted.
 
     Remaining parameters match :func:`run_pulling_ensemble`.
     """
@@ -281,6 +339,21 @@ def run_pulling_ensemble_parallel(
         n_workers = os.cpu_count() or 1
     if n_workers < 1:
         raise ConfigurationError("n_workers must be at least 1 (or None)")
+    if store is not None:
+        from ..store import pulling_task
+
+        task = pulling_task(
+            model, protocol, n_samples=n_samples, n_records=n_records,
+            force_sample_time=force_sample_time, dt=dt,
+            cpu_hours_per_ns=cpu_hours_per_ns,
+            seed_key=_store_seed_key(seed, store_key),
+            executor="sharded", shard_size=shard_size,
+        )
+        return store.get_or_run(task, lambda: run_pulling_ensemble_parallel(
+            model, protocol, n_samples, n_workers=n_workers,
+            shard_size=shard_size, dt=dt, n_records=n_records,
+            force_sample_time=force_sample_time, seed=seed,
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs))
     obs = as_obs(obs)
 
     base_seed = as_seed_int(seed)
@@ -308,6 +381,74 @@ def run_pulling_ensemble_parallel(
         obs.metrics.inc("smd.sim_ns", ensemble.cpu_hours / cpu_hours_per_ns)
         obs.metrics.inc("smd.cpu_hours", ensemble.cpu_hours)
     return ensemble
+
+
+def run_work_ensemble(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    n_tasks: int,
+    samples_per_task: int,
+    *,
+    base_seed: SeedLike = None,
+    labels: Tuple = (),
+    store=None,
+    dt: Optional[float] = None,
+    n_records: int = 41,
+    force_sample_time: Optional[float] = DEFAULT_FORCE_SAMPLE_TIME,
+    cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
+) -> WorkEnsemble:
+    """Run one (kappa, v) cell as ``n_tasks`` restartable store-addressed tasks.
+
+    This is the resumable front door the campaign drivers use: the cell's
+    ensemble is decomposed into ``n_tasks`` sub-ensembles of
+    ``samples_per_task`` replicas each — the paper's "72 independent jobs"
+    granularity — and each task draws its own RNG stream
+    ``stream_for(base_seed, *labels, "task", t)``.  The decomposition is
+    therefore part of the result's identity: a task's physics depends only
+    on ``(base_seed, labels, t)`` and the integration settings, never on
+    which process ran it or in what order, so with a ``store`` attached a
+    killed campaign re-run recomputes exactly the tasks whose records are
+    missing and the merged ensemble is bit-identical either way.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of restartable units (e.g. replicas-per-cell: 6).
+    samples_per_task:
+        JE samples each task contributes; the merged ensemble has
+        ``n_tasks * samples_per_task`` rows, in task order.
+    base_seed / labels:
+        Stream key prefix; ``labels`` names the cell (e.g.
+        ``("cell", 100000, 12500)``) so distinct cells never share streams.
+    store:
+        Optional :class:`repro.store.ResultStore`; each task is memoized
+        individually under its full stream key.
+
+    Remaining parameters match :func:`run_pulling_ensemble`.
+    """
+    if n_tasks < 1:
+        raise ConfigurationError("n_tasks must be at least 1")
+    if samples_per_task < 1:
+        raise ConfigurationError("samples_per_task must be at least 1")
+    obs = as_obs(obs)
+    base = as_seed_int(base_seed)
+
+    parts = []
+    with obs.span("smd.work_ensemble", kappa_pn=protocol.kappa_pn,
+                  velocity=protocol.velocity, n_tasks=n_tasks,
+                  samples_per_task=samples_per_task):
+        for t in range(n_tasks):
+            key = (base, *labels, "task", t)
+            parts.append(run_pulling_ensemble(
+                model, protocol, samples_per_task,
+                dt=dt, n_records=n_records,
+                force_sample_time=force_sample_time,
+                seed=stream_for(base, *labels, "task", t),
+                cpu_hours_per_ns=cpu_hours_per_ns, obs=obs,
+                store=store, store_key=key,
+            ))
+    return reduce(WorkEnsemble.merged_with, parts)
 
 
 def _record_schedule(n_strides: int, n_records: int) -> np.ndarray:

@@ -41,6 +41,8 @@ def run_pulling_ensemble_3d(
     seed: SeedLike = None,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
     obs: Optional[Obs] = None,
+    store=None,
+    store_key=None,
 ) -> WorkEnsemble:
     """Run ``n_samples`` independent 3-D pulls of the CG system.
 
@@ -52,11 +54,30 @@ def run_pulling_ensemble_3d(
     runner; works/positions are per-replica at each station.  ``obs`` is
     the instrumentation handle (read-only: spans and counters only, so
     instrumented runs stay bit-identical).
+
+    ``store``/``store_key`` memoize the whole ensemble in a
+    :class:`repro.store.ResultStore` under the ``smd.cg3d/v1`` kernel tag,
+    with the same seed-identity rules as the reduced runner: an int seed
+    fingerprints directly, a generator needs its ``stream_for`` key.
     """
     if n_samples < 1:
         raise ConfigurationError("n_samples must be at least 1")
     if n_records < 2:
         raise ConfigurationError("n_records must be at least 2")
+    if store is not None:
+        from ..store import pulling_task_3d
+        from .ensemble import _store_seed_key
+
+        task = pulling_task_3d(
+            protocol, n_samples=n_samples, n_bases=n_bases,
+            n_records=n_records, axis=tuple(float(a) for a in axis),
+            start_com_z=start_com_z, cpu_hours_per_ns=cpu_hours_per_ns,
+            seed_key=_store_seed_key(seed, store_key),
+        )
+        return store.get_or_run(task, lambda: run_pulling_ensemble_3d(
+            protocol, n_samples, n_bases=n_bases, n_records=n_records,
+            axis=axis, start_com_z=start_com_z, seed=seed,
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs))
     obs = as_obs(obs)
     base = as_generator(seed)
     master = int(base.integers(0, 2**31))

@@ -1,0 +1,246 @@
+"""The crash-consistent, content-addressed result store.
+
+Layout: one record per completed task, stored under its fingerprint in
+two-hex-char shard directories (4096-way fan-out keeps directory listings
+flat at campaign scale)::
+
+    <root>/
+      meta.json                         # store identity: schema + version
+      3f/
+        3fa4...e1.json                  # repro.store.record/v1 document
+        3fa4...e1.json.corrupt          # quarantined evicted record
+
+Writes are atomic: the record is serialized to a ``.tmp.<pid>`` file in the
+final shard directory and ``os.replace``-d into place, so a reader (or a
+campaign killed mid-write) sees either the complete record or nothing —
+never a torn file.  Reads re-validate every record against its schema and
+recompute the task fingerprint; anything malformed is *evicted* (renamed to
+``.corrupt`` for forensics) and reported as a miss, so one corrupted file
+costs one recomputation instead of a poisoned campaign.
+
+Instrumentation: hits, misses, writes and evictions are surfaced both as
+plain attributes (``store.hits`` et al.) and as the ``store.*`` obs metric
+families when an :class:`~repro.obs.Obs` handle is attached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import CampaignInterrupted, ConfigurationError, StoreError
+from ..obs import Obs, as_obs
+from ..smd.work import WorkEnsemble
+from .fingerprint import RECORD_SCHEMA, STORE_SCHEMA_VERSION, canonical_json
+from .record import build_record, decode_ensemble, dumps_record, loads_record
+
+__all__ = ["ResultStore"]
+
+_META_NAME = "meta.json"
+
+
+class ResultStore:
+    """Content-addressed memo table of completed work-ensemble tasks.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with a ``meta.json`` identity file) if
+        missing.  An existing directory must carry a compatible meta file —
+        pointing the store at an arbitrary directory is refused rather than
+        silently littering it.
+    obs:
+        Optional instrumentation handle; cache traffic is recorded under
+        the ``store.*`` metric families.
+    """
+
+    def __init__(self, root: str, obs: Optional[Obs] = None) -> None:
+        self.root = os.fspath(root)
+        self._obs = as_obs(obs)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        #: When set (chaos harness), the store raises
+        #: :class:`~repro.errors.CampaignInterrupted` after this many
+        #: successful writes — *after* the record is durable, modelling a
+        #: process killed between completing one task and starting the next.
+        self.interrupt_after_writes: Optional[int] = None
+        self._init_root()
+
+    # -- layout ----------------------------------------------------------------
+
+    def _init_root(self) -> None:
+        meta_path = os.path.join(self.root, _META_NAME)
+        if os.path.isdir(self.root):
+            entries = [e for e in os.listdir(self.root) if not e.startswith(".")]
+            if entries and not os.path.isfile(meta_path):
+                raise StoreError(
+                    f"{self.root!r} is a non-empty directory without a store "
+                    f"meta file; refusing to use it as a result store")
+        os.makedirs(self.root, exist_ok=True)
+        if os.path.isfile(meta_path):
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = handle.read()
+            if meta != self._meta_text():
+                raise StoreError(
+                    f"store at {self.root!r} was written by an incompatible "
+                    f"schema; expected {RECORD_SCHEMA}")
+        else:
+            self._atomic_write(meta_path, self._meta_text())
+
+    @staticmethod
+    def _meta_text() -> str:
+        return canonical_json({
+            "store": "repro.store",
+            "record_schema": RECORD_SCHEMA,
+            "schema_version": STORE_SCHEMA_VERSION,
+        }) + "\n"
+
+    def path_for(self, fingerprint: str) -> str:
+        """Record path for a fingerprint: ``<root>/<fp[:2]>/<fp>.json``."""
+        if len(fingerprint) != 64:
+            raise StoreError(f"malformed fingerprint {fingerprint!r}")
+        return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    def _atomic_write(self, path: str, text: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # -- cache interface -------------------------------------------------------
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.isfile(self.path_for(fingerprint))
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def fingerprints(self) -> List[str]:
+        """All stored fingerprints, sorted."""
+        out = []
+        if not os.path.isdir(self.root):
+            return out
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".json") and len(name) == 64 + 5:
+                    out.append(name[:-5])
+        return sorted(out)
+
+    def read_record(self, fingerprint: str) -> Dict[str, Any]:
+        """Load + validate the raw record document (no eviction on failure)."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise StoreError(f"cannot read record {fingerprint[:12]}...: {exc}")
+        return loads_record(text, expected_fingerprint=fingerprint)
+
+    def get(self, fingerprint: str) -> Optional[WorkEnsemble]:
+        """The cached ensemble, or ``None`` on a miss.
+
+        A record that exists but fails validation is evicted (renamed to
+        ``<record>.corrupt``) and counted under ``store.corrupt_evicted``;
+        the caller sees an ordinary miss and recomputes.
+        """
+        path = self.path_for(fingerprint)
+        if not os.path.isfile(path):
+            self.misses += 1
+            self._count("store.misses")
+            return None
+        try:
+            record = self.read_record(fingerprint)
+            ensemble = decode_ensemble(record["result"])
+        except (StoreError, ConfigurationError, KeyError, TypeError,
+                ValueError) as exc:
+            # StoreCorruptionError covers schema/fingerprint defects; the
+            # rest are payloads that parse but cannot rebuild a valid
+            # ensemble (wrong shapes, non-monotonic grids, bad protocol).
+            self._evict(path, exc)
+            self.misses += 1
+            self._count("store.misses")
+            return None
+        self.hits += 1
+        self._count("store.hits")
+        return ensemble
+
+    def _evict(self, path: str, reason: Exception) -> None:
+        self.evictions += 1
+        self._count("store.corrupt_evicted")
+        if self._obs.enabled:
+            self._obs.event("store.evict", path=os.path.basename(path),
+                            reason=str(reason)[:200])
+        os.replace(path, path + ".corrupt")
+
+    def put(self, task: Dict[str, Any], ensemble: WorkEnsemble) -> str:
+        """Persist one completed task; returns its fingerprint.
+
+        The write is atomic (write-then-rename); on return the record is
+        durable.  When the chaos hook :attr:`interrupt_after_writes` is
+        armed and this write reaches the threshold, the method then raises
+        :class:`~repro.errors.CampaignInterrupted` — the record survives,
+        exactly like a process killed between tasks.
+        """
+        record = build_record(task, ensemble)
+        fingerprint = record["fingerprint"]
+        self._atomic_write(self.path_for(fingerprint), dumps_record(record))
+        self.writes += 1
+        self._count("store.writes")
+        if self._obs.enabled:
+            self._obs.metrics.set_gauge("store.records", len(self))
+        if (self.interrupt_after_writes is not None
+                and self.writes >= self.interrupt_after_writes):
+            raise CampaignInterrupted(
+                f"campaign killed after {self.writes} completed task(s); "
+                f"store {self.root!r} holds the finished work")
+        return fingerprint
+
+    def get_or_run(self, task: Dict[str, Any],
+                   compute: Callable[[], WorkEnsemble]) -> WorkEnsemble:
+        """Memoize ``compute()`` under the task's fingerprint."""
+        from .fingerprint import task_fingerprint
+
+        fingerprint = task_fingerprint(task)
+        cached = self.get(fingerprint)
+        if cached is not None:
+            return cached
+        ensemble = compute()
+        self.put(task, ensemble)
+        return ensemble
+
+    # -- introspection ---------------------------------------------------------
+
+    def content_digest(self) -> str:
+        """SHA-256 over the sorted fingerprints: the store's content
+        identity.  Two stores holding the same completed tasks — however
+        they got there — have equal digests."""
+        digest = hashlib.sha256()
+        for fingerprint in self.fingerprints():
+            digest.update(fingerprint.encode("ascii"))
+        return digest.hexdigest()
+
+    def stats(self) -> Dict[str, int]:
+        """Cache-traffic counters for reports and assertions."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_evicted": self.evictions,
+            "records": len(self),
+        }
+
+    def _count(self, name: str) -> None:
+        if self._obs.enabled:
+            self._obs.metrics.inc(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({self.root!r}, records={len(self)})"

@@ -119,6 +119,8 @@ class SpiceCampaign:
         seed: SeedLike = 2005,
         obs: Optional[Obs] = None,
         resil=None,
+        store=None,
+        skip_completed: bool = False,
     ) -> None:
         self.obs = as_obs(obs)
         self.federation = (
@@ -136,6 +138,15 @@ class SpiceCampaign:
         #: Optional :class:`~repro.resil.Resilience` bundle for the batch
         #: phase (duck-typed; build one with ``Resilience.for_federation``).
         self.resil = resil
+        #: Optional :class:`~repro.store.ResultStore` for the batch phase:
+        #: every (cell, replica) task is memoized, so an interrupted
+        #: campaign re-run against the same store resumes bit-identically,
+        #: recomputing only the missing tasks.
+        self.store = store
+        #: Forwarded to :class:`~repro.workflow.phases.BatchPhase`: mark
+        #: grid jobs with existing store records as completed instead of
+        #: replaying their schedule.
+        self.skip_completed = bool(skip_completed)
 
     def run(self) -> SpiceCampaignResult:
         with self.obs.span("campaign.static-viz"):
@@ -161,6 +172,8 @@ class SpiceCampaign:
                 seed=self.seed,
                 obs=self.obs,
                 resil=self.resil,
+                store=self.store,
+                skip_completed=self.skip_completed,
             ).run()
         return SpiceCampaignResult(
             structure=structure, interactive=interactive, batch=batch

@@ -225,6 +225,8 @@ class BatchPhase:
         seed: int = 2005,
         obs: Optional[Obs] = None,
         resil=None,
+        store=None,
+        skip_completed: bool = False,
     ) -> None:
         if replicas_per_cell <= 0 or samples_per_replica <= 0:
             raise ConfigurationError("replicas and samples must be positive")
@@ -232,6 +234,8 @@ class BatchPhase:
             raise ConfigurationError(
                 "need at least 2 pulls per cell for the error analysis"
             )
+        if skip_completed and store is None:
+            raise ConfigurationError("skip_completed requires a result store")
         self.federation = federation
         self.model = model if model is not None else ReducedTranslocationModel(
             default_reduced_potential()
@@ -247,6 +251,15 @@ class BatchPhase:
         #: Optional :class:`~repro.resil.Resilience` bundle handed to the
         #: campaign manager (duck-typed: workflow never imports repro.resil).
         self.resil = resil
+        #: Optional :class:`~repro.store.ResultStore`; the study memoizes
+        #: every (cell, replica) task in it, which is what makes a killed
+        #: batch phase resumable.
+        self.store = store
+        #: With a store: mark grid jobs whose task records already exist as
+        #: completed without scheduling them (the resumed campaign's grid
+        #: view).  Off by default — the default resume replays the cheap
+        #: DES schedule so the campaign report stays bit-identical.
+        self.skip_completed = bool(skip_completed)
 
     @property
     def n_jobs(self) -> int:
@@ -270,6 +283,37 @@ class BatchPhase:
                 )
         return jobs
 
+    def job_task_fingerprints(
+        self, protocols: Sequence[PullingProtocol]
+    ) -> List[Tuple[str, str]]:
+        """``(job name, store fingerprint)`` for every (cell, replica) unit.
+
+        The grid job ``smdje-k{kappa:g}-v{v:g}-r{rep}`` performs exactly
+        the study's (cell, replica) work task — same protocol, same
+        ``stream_for`` seed key — so job completion can be read straight
+        off the result store.
+        """
+        from ..smd.ensemble import (
+            DEFAULT_FORCE_SAMPLE_TIME,
+            PAPER_CPU_HOURS_PER_NS,
+        )
+        from ..store import pulling_task, task_fingerprint
+
+        out: List[Tuple[str, str]] = []
+        for proto in protocols:
+            labels = ("cell", int(proto.kappa_pn * 1000),
+                      int(proto.velocity * 1000))
+            for rep in range(self.replicas_per_cell):
+                task = pulling_task(
+                    self.model, proto, n_samples=self.samples_per_replica,
+                    n_records=41, force_sample_time=DEFAULT_FORCE_SAMPLE_TIME,
+                    dt=None, cpu_hours_per_ns=PAPER_CPU_HOURS_PER_NS,
+                    seed_key=(self.seed, *labels, "task", rep),
+                )
+                name = f"smdje-k{proto.kappa_pn:g}-v{proto.velocity:g}-r{rep}"
+                out.append((name, task_fingerprint(task)))
+        return out
+
     def run(self) -> BatchPhaseResult:
         start = self.window[0]
         distance = self.window[1] - self.window[0]
@@ -281,18 +325,29 @@ class BatchPhase:
             distance=distance,
             start_z=start,
         )
-        # Physics: each cell pools replicas_per_cell x samples_per_replica
-        # pulls (the replica split only matters for the grid jobs).
+        # Which grid jobs are already satisfied by store records?  Decided
+        # *before* the study runs (the study itself fills the store).
+        completed = None
+        if self.store is not None and self.skip_completed:
+            completed = [name for name, fp
+                         in self.job_task_fingerprints(protocols)
+                         if fp in self.store]
+        # Physics: each cell decomposes into replicas_per_cell restartable
+        # tasks of samples_per_replica pulls — the same (cell, replica)
+        # granularity as the grid jobs, so with a store every job's work
+        # unit is individually memoized and a killed phase resumes.
         study = run_parameter_study(
             self.model,
             protocols=protocols,
             n_samples=self.replicas_per_cell * self.samples_per_replica,
             seed=self.seed,
             obs=self.obs,
+            store=self.store,
+            samples_per_task=self.samples_per_replica,
         )
         # Infrastructure: schedule the corresponding jobs on the federation.
         jobs = self.build_jobs(protocols)
         manager = CampaignManager(self.federation, obs=self.obs,
                                   resil=self.resil)
-        campaign = manager.run(jobs)
+        campaign = manager.run(jobs, completed=completed)
         return BatchPhaseResult(study=study, campaign=campaign, jobs=jobs)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -30,6 +32,45 @@ def pytest_addoption(parser):
 @pytest.fixture
 def chaos_seed(request):
     return request.config.getoption("--chaos-seed")
+
+
+#: Repo-root entries tooling legitimately creates while the suite runs.
+_ALLOWED_NEW_ROOT_ENTRIES = {
+    ".pytest_cache", "__pycache__", ".hypothesis", ".benchmarks",
+    ".coverage", "coverage.xml", "htmlcov",
+}
+
+
+@pytest.fixture(autouse=True)
+def no_repo_root_writes():
+    """Guard: no test may litter the repository root.
+
+    Every artifact a test writes (store directories, BENCH_*.json,
+    reports) belongs under pytest's tmp_path.  The fixture snapshots the
+    current directory's entries around each test and fails on anything
+    new beyond the usual tooling caches — so a stray relative path fails
+    the offending test, not a later session's git status.
+    """
+    root = os.getcwd()
+    before = set(os.listdir(root))
+    yield
+    leaked = {
+        e for e in set(os.listdir(root)) - before
+        if e not in _ALLOWED_NEW_ROOT_ENTRIES
+        and not e.startswith(".coverage")
+    }
+    assert not leaked, (
+        f"test wrote to the repo root: {sorted(leaked)}; "
+        "use tmp_path / the result_store fixture instead"
+    )
+
+
+@pytest.fixture
+def result_store(tmp_path):
+    """A fresh ResultStore rooted in this test's tmp directory."""
+    from repro.store import ResultStore
+
+    return ResultStore(os.fspath(tmp_path / "store"))
 
 
 @pytest.fixture

@@ -1,0 +1,84 @@
+"""Golden-master regression test: the Fig-4-style PMF profile is pinned.
+
+The committed reference (tests/data/golden_pmf.json, regenerated only via
+tools/make_golden_pmf.py) fixes the SMD-JE profile of the paper's optimal
+cell (kappa = 100 pN/A, v = 12.5 A/ns) at a fixed seed.  Any change to the
+integrator, the work accounting, the RNG stream layout or the estimator
+that drifts the physics fails here first — with a diff a human can read.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_pmf
+from repro.pore import ReducedTranslocationModel, default_reduced_potential
+from repro.smd import PullingProtocol, run_pulling_ensemble
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_pmf.json")
+
+#: Same-arithmetic reruns reproduce the profile exactly; the tolerance
+#: only absorbs libm ulp differences across platforms.  Injected drift at
+#: the 1e-6 kcal/mol level must fail (self-check below).
+ATOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def recomputed(golden):
+    p = golden["params"]
+    model = ReducedTranslocationModel(default_reduced_potential())
+    proto = PullingProtocol(
+        kappa_pn=p["kappa_pn"], velocity=p["velocity"],
+        distance=p["distance"], start_z=p["start_z"],
+        equilibration_ns=p["equilibration_ns"])
+    ensemble = run_pulling_ensemble(
+        model, proto, n_samples=p["n_samples"], n_records=p["n_records"],
+        seed=p["seed"])
+    return ensemble, estimate_pmf(ensemble, estimator=p["estimator"])
+
+
+class TestGoldenMaster:
+    def test_reference_document_shape(self, golden):
+        assert golden["schema"] == "repro.tests.golden_pmf/v1"
+        assert golden["params"]["kappa_pn"] == 100.0
+        assert golden["params"]["velocity"] == 12.5
+        assert len(golden["pmf"]) == golden["params"]["n_records"]
+        assert len(golden["displacements"]) == golden["params"]["n_records"]
+
+    def test_pmf_profile_matches_reference(self, golden, recomputed):
+        _, estimate = recomputed
+        np.testing.assert_allclose(
+            estimate.displacements, np.asarray(golden["displacements"]),
+            rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(
+            estimate.values, np.asarray(golden["pmf"]),
+            rtol=0.0, atol=ATOL)
+
+    def test_mean_work_matches_reference(self, golden, recomputed):
+        ensemble, _ = recomputed
+        np.testing.assert_allclose(
+            ensemble.mean_work(), np.asarray(golden["mean_work"]),
+            rtol=0.0, atol=ATOL)
+
+    def test_detects_injected_drift(self, golden, recomputed):
+        """Self-check: the tolerance is tight enough to catch real drift."""
+        _, estimate = recomputed
+        drifted = estimate.values + 1e-6
+        with pytest.raises(AssertionError):
+            np.testing.assert_allclose(
+                drifted, np.asarray(golden["pmf"]), rtol=0.0, atol=ATOL)
+
+    def test_profile_is_physically_sane(self, golden):
+        """The pinned curve is a strongly-downhill translocation PMF."""
+        pmf = np.asarray(golden["pmf"])
+        assert pmf[0] == 0.0
+        assert pmf[-1] < -80.0  # ~100-150 kcal/mol drop over the window
