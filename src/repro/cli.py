@@ -369,6 +369,11 @@ def cmd_bench(args) -> CommandResult:
         f"  parallel    {ensemble['parallel_wall_s']:10.2f} s"
         f"   ({ensemble['speedup']:.2f}x, deterministic: "
         f"{ensemble['deterministic']})",
+        f"batched ensemble ({ensemble['batched']['n_replicas']} replicas):",
+        f"  per-traj    {ensemble['batched']['per_trajectory_wall_s']:10.2f} s",
+        f"  batched     {ensemble['batched']['batched_wall_s']:10.2f} s"
+        f"   ({ensemble['batched_speedup']:.2f}x, deterministic: "
+        f"{ensemble['deterministic']})",
         f"wrote {kernels_path} and {ensemble_path}",
     ]
     return CommandResult("\n".join(lines), {

@@ -75,6 +75,7 @@ def run_parameter_study(
     obs: Optional[Obs] = None,
     store=None,
     samples_per_task: Optional[int] = None,
+    kernel: str = "vectorized",
 ) -> ParameterStudyResult:
     """Run the full (kappa, v) grid study on the reduced model.
 
@@ -93,6 +94,13 @@ def run_parameter_study(
     ``n_samples`` evenly.  ``None`` keeps the historical monolithic
     per-cell streams, bit-identical to earlier releases; a ``store`` then
     memoizes at whole-cell granularity.
+
+    ``kernel`` selects the execution layout of every cell's ensemble
+    (``"vectorized"`` / ``"batched"`` / ``"reference"``, see
+    :func:`~repro.smd.ensemble.run_pulling_ensemble`); under ``"batched"``
+    with ``samples_per_task`` set, each grid cell's tasks run as one
+    stacked engine call.  All kernels are bit-identical and share store
+    fingerprints.
     """
     if protocols is None:
         protocols = parameter_grid()
@@ -122,14 +130,14 @@ def run_parameter_study(
         if samples_per_task is not None:
             ens = run_work_ensemble(
                 model, proto, n_samples // samples_per_task,
-                samples_per_task, base_seed=seed, labels=cell_labels,
-                store=store, n_records=n_records, obs=obs,
+                samples_per_task, seed=seed, labels=cell_labels,
+                store=store, n_records=n_records, obs=obs, kernel=kernel,
             )
         else:
             ens = run_pulling_ensemble(
                 model, proto, n_samples=n_samples, n_records=n_records,
                 seed=stream_for(seed, *cell_labels), obs=obs,
-                store=store, store_key=(seed, *cell_labels),
+                store=store, store_key=(seed, *cell_labels), kernel=kernel,
             )
         ensembles[key] = ens
         estimates[key] = estimate_pmf(ens, estimator=estimator)

@@ -1,9 +1,11 @@
-"""API-boundary rule family (SPICE101-SPICE103).
+"""API-boundary rule family (SPICE101-SPICE105).
 
 PR 1 unified the estimator surface behind ``repro.core`` and its
 ``estimate_free_energy`` front door, and made the ``obs=`` handle the
-package-wide instrumentation convention.  These rules keep examples,
-tests, and new entry points from quietly eroding that boundary.
+package-wide instrumentation convention; the batched-execution redesign
+added the ``kernel=`` keyword and the stream-discipline contract of the
+replica-batched runners.  These rules keep examples, tests, and new entry
+points from quietly eroding those boundaries.
 """
 
 from __future__ import annotations
@@ -13,7 +15,12 @@ from typing import Iterator
 
 from .base import FileContext, Rule, Violation, register_rule
 
-__all__ = ["DeepImportRule", "FrontDoorRule", "ObsThreadingRule"]
+__all__ = [
+    "DeepImportRule",
+    "FrontDoorRule",
+    "ObsThreadingRule",
+    "BatchedKernelContractRule",
+]
 
 #: Raw estimator implementations that examples/tests should reach through
 #: estimate_free_energy(works, T, method=...) instead of importing.
@@ -130,4 +137,77 @@ class ObsThreadingRule(Rule):
                     ctx, node,
                     f"'{node.name}' spawns seeded work but takes no obs= "
                     f"handle; add obs: Optional[Obs] = None and thread it",
+                )
+
+
+#: RNG constructors/derivers that mint *new* streams.  Inside a batched
+#: runner, minting a stream makes the result depend on execution placement;
+#: only ``stream_for`` (a pure function of labels) is allowed there.
+_STREAM_MINTING = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.RandomState",
+    "repro.rng.as_generator",
+    "repro.rng.spawn",
+})
+
+
+@register_rule
+class BatchedKernelContractRule(Rule):
+    """Ensemble entry points take ``kernel=``; batched code keeps the
+    ``stream_for`` discipline."""
+
+    id = "SPICE105"
+    name = "batched-kernel contract"
+    rationale = (
+        "the batched execution redesign made kernel= part of the shared "
+        "run_* keyword contract (an entry point without it strands its "
+        "callers on per-trajectory execution), and the batched runners' "
+        "bit-identity rests on every replica consuming a stream_for-derived "
+        "stream passed in by the caller — a batched module minting its own "
+        "generators (default_rng, as_generator, spawn, ...) re-keys replica "
+        "noise by execution placement and silently breaks the "
+        "batched-equals-per-trajectory oracle guarantee"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.kind != "src":
+            return False
+        stem = ctx.relpath.rsplit("/", 1)[-1].removesuffix(".py")
+        return ctx.in_package("smd", "perf") or "batch" in stem
+
+    @staticmethod
+    def _is_batched_module(ctx: FileContext) -> bool:
+        stem = ctx.relpath.rsplit("/", 1)[-1].removesuffix(".py")
+        return "batch" in stem
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.tree.body:  # module level only: the public surface
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("run_"):
+                continue
+            args = node.args
+            names = {a.arg for a in args.args} | {a.arg for a in args.kwonlyargs}
+            if names & {"seed", "base_seed"} and "kernel" not in names:
+                yield self.violation(
+                    ctx, node,
+                    f"'{node.name}' accepts seed= but no kernel=; ensemble "
+                    f"entry points share one keyword contract (seed=, "
+                    f"kernel=, obs=, store=)",
+                )
+        if not self._is_batched_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target in _STREAM_MINTING:
+                yield self.violation(
+                    ctx, node,
+                    f"batched runner calls '{target}': batched code must "
+                    f"consume caller-provided stream_for-derived generators, "
+                    f"never mint its own streams",
                 )

@@ -23,11 +23,19 @@ from .external import (
     ConstantForce,
     SteeringForce,
 )
-from .kernels import KERNELS, accumulate_pair_forces, scatter_add, validate_kernel
+from .kernels import (
+    KERNELS,
+    accumulate_pair_forces,
+    accumulate_pair_forces_batched,
+    scatter_add,
+    scatter_add_batched,
+    validate_kernel,
+)
 from .neighborlist import NeighborList
 from .integrators import VelocityVerlet, LangevinBAOAB, BrownianDynamics
 from .trajectory import Frame, Trajectory, ObservableRecorder
 from .engine import Simulation
+from .batch import ReplicaBatch, BatchedSimulation
 from .checkpoint import capture, restore, checkpoint_size_bytes
 
 __all__ = [
@@ -52,7 +60,11 @@ __all__ = [
     "validate_kernel",
     "scatter_add",
     "accumulate_pair_forces",
+    "scatter_add_batched",
+    "accumulate_pair_forces_batched",
     "NeighborList",
+    "ReplicaBatch",
+    "BatchedSimulation",
     "VelocityVerlet",
     "LangevinBAOAB",
     "BrownianDynamics",

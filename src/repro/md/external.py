@@ -50,6 +50,19 @@ class ExternalFieldForce:
             np.add.at(forces, self._indices, f)
         return float(energy)
 
+    def compute_batched(self, positions: np.ndarray, forces: np.ndarray) -> np.ndarray:
+        """Replica-batched evaluation over ``(R, N, 3)``; ``(R,)`` energies.
+
+        Fields are arbitrary callables, so this simply applies ``compute``
+        per replica — each replica sees the identical single-system call,
+        which is what keeps batched execution bit-identical.
+        """
+        n_replicas = positions.shape[0]
+        energies = np.empty(n_replicas, dtype=np.float64)
+        for r in range(n_replicas):
+            energies[r] = self.compute(positions[r], forces[r])
+        return energies
+
 
 class HarmonicRestraintForce:
     """Per-particle harmonic position restraints ``U = 0.5 k |r - r_anchor|^2``.

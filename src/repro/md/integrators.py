@@ -18,7 +18,7 @@ potential energy so engines can track totals without a second evaluation.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -27,10 +27,16 @@ from ..rng import SeedLike, as_generator
 from ..units import KB, ROOM_TEMPERATURE
 from .system import ParticleSystem
 
+if TYPE_CHECKING:
+    from .batch import ReplicaBatch
+
 __all__ = ["VelocityVerlet", "LangevinBAOAB", "BrownianDynamics"]
 
 # Force callback signature: fills the (n, 3) force array, returns energy.
 ForceCallback = Callable[[np.ndarray, np.ndarray], float]
+
+# Batched variant: fills the (R, n, 3) force array, returns (R,) energies.
+BatchedForceCallback = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 class VelocityVerlet:
@@ -65,6 +71,29 @@ class VelocityVerlet:
         energy = compute_forces(x, forces)
         v += 0.5 * dt * forces * inv_m
         return energy
+
+    def step_batched(
+        self,
+        batch: "ReplicaBatch",
+        compute_forces: BatchedForceCallback,
+        forces: np.ndarray,
+    ) -> np.ndarray:
+        """Advance one step for all replicas; returns ``(R,)`` energies.
+
+        The ``(N, 1)`` inverse-mass factor broadcasts over the replica
+        axis, so each replica's update is the identical elementwise
+        expression as :meth:`step` — batched state is bit-identical to
+        per-replica stepping.
+        """
+        dt = self.dt
+        inv_m = 1.0 / batch.kinetic_masses[:, None]
+        v, x = batch.velocities, batch.positions
+        v += 0.5 * dt * forces * inv_m
+        x += dt * v
+        forces[:] = 0.0
+        energies = compute_forces(x, forces)
+        v += 0.5 * dt * forces * inv_m
+        return energies
 
 
 class LangevinBAOAB:
@@ -128,6 +157,36 @@ class LangevinBAOAB:
         v += 0.5 * dt * forces * inv_m
         return energy
 
+    def step_batched(
+        self,
+        batch: "ReplicaBatch",
+        compute_forces: BatchedForceCallback,
+        forces: np.ndarray,
+    ) -> np.ndarray:
+        """Advance one BAOAB step for all replicas; returns ``(R,)`` energies.
+
+        O-step noise is drawn per replica from ``batch.rngs[r]`` into a
+        contiguous row of the noise buffer — the same generator and the
+        same number of variates as per-replica stepping, so trajectories
+        are bit-identical to ``step`` with the corresponding stream.
+        """
+        dt = self.dt
+        inv_m = 1.0 / batch.kinetic_masses[:, None]
+        sigma_v = np.sqrt(KB * self.temperature / batch.kinetic_masses)[:, None]
+        v, x = batch.velocities, batch.positions
+        v += 0.5 * dt * forces * inv_m
+        x += 0.5 * dt * v
+        v *= self._c1
+        noise = np.empty_like(v)
+        for r, rng in enumerate(batch.rngs):
+            rng.standard_normal(out=noise[r])
+        v += self._c2 * sigma_v * noise
+        x += 0.5 * dt * v
+        forces[:] = 0.0
+        energies = compute_forces(x, forces)
+        v += 0.5 * dt * forces * inv_m
+        return energies
+
 
 class BrownianDynamics:
     """Overdamped (Ermak-McCammon) dynamics.
@@ -181,5 +240,28 @@ class BrownianDynamics:
         x = system.positions
         x += forces * mob * dt
         x += noise_scale * self.rng.standard_normal(x.shape)
+        forces[:] = 0.0
+        return compute_forces(x, forces)
+
+    def step_batched(
+        self,
+        batch: "ReplicaBatch",
+        compute_forces: BatchedForceCallback,
+        forces: np.ndarray,
+    ) -> np.ndarray:
+        """Advance one overdamped step for all replicas; ``(R,)`` energies.
+
+        Per-replica noise comes from ``batch.rngs[r]`` (same stream layout
+        as per-replica stepping), the drift term broadcasts the shared
+        mobility over the replica axis."""
+        dt = self.dt
+        mob = self.mobility()
+        noise_scale = np.sqrt(2.0 * KB * self.temperature * dt * mob)
+        x = batch.positions
+        x += forces * mob * dt
+        noise = np.empty_like(x)
+        for r, rng in enumerate(batch.rngs):
+            rng.standard_normal(out=noise[r])
+        x += noise_scale * noise
         forces[:] = 0.0
         return compute_forces(x, forces)

@@ -14,6 +14,18 @@ selected by a ``kernel=`` constructor argument:
     oracle the equivalence tests compare the vectorized kernels against,
     and the baseline ``python -m repro bench`` measures speedups over.
 
+``"batched"``
+    The replica-batched execution mode: positions carry a leading replica
+    axis ``(R, N, 3)`` and force terms evaluate all replicas per call via
+    their ``compute_batched`` method (see :mod:`repro.md.batch`).  For
+    single-system ``compute`` calls, ``"batched"`` behaves exactly like
+    ``"vectorized"`` — the replica axis is an execution layout, not a
+    different numerical method.  The batched scatter primitives below
+    flatten the replica axis into the particle axis (slot ``r*N + i``) so
+    one bincount pass accumulates every replica with the *same* per-replica
+    summation order as :func:`scatter_add`, keeping batched forces
+    bit-identical to per-replica evaluation.
+
 Equivalence contract (see ``tests/test_md_kernels.py``): both kernels see
 the *same* candidate pair arrays and evaluate the *same* expressions, but
 the vectorized path accumulates per-particle forces in index order
@@ -32,10 +44,17 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["KERNELS", "validate_kernel", "scatter_add", "accumulate_pair_forces"]
+__all__ = [
+    "KERNELS",
+    "validate_kernel",
+    "scatter_add",
+    "accumulate_pair_forces",
+    "scatter_add_batched",
+    "accumulate_pair_forces_batched",
+]
 
 #: Names accepted by every ``kernel=`` switch.
-KERNELS: tuple = ("vectorized", "reference")
+KERNELS: tuple = ("vectorized", "reference", "batched")
 
 
 def validate_kernel(kernel: str) -> str:
@@ -69,3 +88,34 @@ def accumulate_pair_forces(
     """Newton's-third-law accumulation: ``forces[j] += fij; forces[i] -= fij``."""
     scatter_add(forces, j, fij)
     scatter_add(forces, i, -fij)
+
+
+def scatter_add_batched(
+    out: np.ndarray, idx: np.ndarray, contrib: np.ndarray
+) -> None:
+    """Replica-batched :func:`scatter_add`: one bincount pass for all replicas.
+
+    ``out`` is ``(R, n, d)``, ``idx`` is ``(m,)`` shared across replicas,
+    ``contrib`` is ``(R, m, d)``.  The replica axis is flattened into the
+    particle axis (``r*n + idx``), so each replica's slots receive their
+    contributions in exactly the per-replica bincount order — replica ``r``
+    of the result is bit-identical to ``scatter_add(out[r], idx, contrib[r])``.
+    ``out`` must be C-contiguous (the engine's force buffers are).
+    """
+    if idx.size == 0:
+        return
+    n_replicas, n, d = out.shape
+    flat_idx = (
+        np.arange(n_replicas, dtype=np.intp)[:, None] * n + idx[None, :]
+    ).ravel()
+    flat_out = out.reshape(n_replicas * n, d)
+    flat_contrib = contrib.reshape(n_replicas * contrib.shape[1], d)
+    scatter_add(flat_out, flat_idx, flat_contrib)
+
+
+def accumulate_pair_forces_batched(
+    forces: np.ndarray, i: np.ndarray, j: np.ndarray, fij: np.ndarray
+) -> None:
+    """Batched Newton's-third-law accumulation over ``(R, N, 3)`` forces."""
+    scatter_add_batched(forces, j, fij)
+    scatter_add_batched(forces, i, -fij)

@@ -109,6 +109,23 @@ class NeighborList:
         checkpoint restore, where positions jump discontinuously)."""
         self._ref_positions = None
 
+    def clone(self) -> "NeighborList":
+        """A fresh list with the same parameters and no build state.
+
+        Replica-batched execution gives each replica its own clone so every
+        replica keeps an independent lazy rebuild schedule.  Candidate-pair
+        *results* are rebuild-schedule independent (any valid Verlet list
+        filtered to the cutoff yields the same sorted pair set), so clones
+        preserve bit-identity with per-replica execution.
+        """
+        return NeighborList(
+            self.cutoff,
+            skin=self.skin,
+            exclusions=set(self._exclusions),
+            box=None if self.box is None else self.box.copy(),
+            kernel=self.kernel,
+        )
+
     # -- internals -----------------------------------------------------------
 
     def _needs_rebuild(self, positions: np.ndarray) -> bool:
@@ -141,10 +158,12 @@ class NeighborList:
             dr = positions[j] - positions[i]
             within = np.einsum("ij,ij->i", dr, dr) <= self._reach**2
             i, j = i[within], j[within]
-        elif self.kernel == "vectorized":
-            i, j = self._cell_pairs_vectorized(positions)
-        else:
+        elif self.kernel == "reference":
             i, j = self._cell_pairs_reference(positions)
+        else:
+            # "vectorized" and "batched" (replica batching clones one list
+            # per replica; each clone searches with the fast kernel).
+            i, j = self._cell_pairs_vectorized(positions)
         if self._exclusions:
             keep = np.fromiter(
                 ((int(a), int(b)) not in self._exclusions for a, b in zip(i, j)),

@@ -1,11 +1,20 @@
-"""Work-ensemble executor benchmark: serial vs parallel wall-clock.
+"""Work-ensemble executor benchmark: serial vs parallel, batched vs per-trajectory.
 
 Times :func:`repro.smd.run_pulling_ensemble_parallel` on a fixed paper
-workload (kappa = 100 pN/A, v = 12.5 A/ns) at ``n_workers=1`` and at the
-benchmark worker count, and cross-checks that both runs produce
-bit-identical work curves — the executor's core guarantee.  A run that
-breaks determinism produces a document that fails validation, so the
-regression cannot slip through a benchmark run or CI.
+workload (kappa = 100 pN/A, v = 12.5 A/ns) in two sections:
+
+* **executor** — ``n_workers=1`` vs the benchmark worker count (the
+  process-pool speedup);
+* **batched** — per-trajectory execution (``shard_size=1``, each replica
+  its own engine call) vs ``kernel="batched"`` routing all replicas
+  through *one* replica-batched engine call.  This is the headline
+  ensemble-throughput number: the batch eliminates the per-replica Python
+  step-loop overhead entirely.
+
+Every pair of legs is cross-checked bit-for-bit — the executor's and the
+batched engine's core guarantee.  A run that breaks determinism produces a
+document that fails validation, so the regression cannot slip through a
+benchmark run or CI.
 """
 
 from __future__ import annotations
@@ -34,8 +43,9 @@ def run_ensemble_benchmark(
     seed: SeedLike = 2005,
     n_workers: Optional[int] = None,
     obs: Optional[Obs] = None,
+    kernel: str = "vectorized",
 ) -> dict:
-    """Benchmark the parallel work-ensemble executor.
+    """Benchmark the parallel executor and the replica-batched engine.
 
     Returns a BENCH document (schema
     :data:`~repro.perf.harness.SCHEMA_ENSEMBLE`).  ``n_workers`` defaults
@@ -43,7 +53,11 @@ def run_ensemble_benchmark(
     always goes through the process pool — the serial-vs-pool bit-for-bit
     comparison (the ``deterministic`` field) is the executor's core
     guarantee and must be exercised even on a single-core host.  ``quick``
-    shrinks the ensemble to CI smoke scale.
+    shrinks the ensemble to CI smoke scale (the batched section still runs
+    at 16 replicas, the acceptance floor for the batched speedup).
+    ``kernel`` selects the execution kernel of the *executor* section's
+    legs; the batched section always compares per-trajectory
+    ``"vectorized"`` against ``"batched"``.
     """
     obs = as_obs(obs)
     seed_int = as_seed_int(seed)
@@ -51,33 +65,48 @@ def run_ensemble_benchmark(
         n_workers = max(2, min(4, os.cpu_count() or 1))
     n_samples = 16 if quick else 64
     shard_size = 4 if quick else DEFAULT_SHARD_SIZE
+    n_replicas = 16 if quick else 64
 
     model = ReducedTranslocationModel(potential=default_reduced_potential())
     protocol = PullingProtocol(kappa_pn=100.0, velocity=12.5)
 
-    def run(workers: int):
+    def run(workers: int, shards: int, run_kernel: str):
         t0 = time.perf_counter()
         ensemble = run_pulling_ensemble_parallel(
-            model, protocol, n_samples,
-            n_workers=workers, shard_size=shard_size, seed=seed_int,
+            model, protocol, n_samples if shards != 1 else n_replicas,
+            n_workers=workers, shard_size=shards, seed=seed_int,
+            kernel=run_kernel,
         )
         return ensemble, time.perf_counter() - t0
 
     with obs.span("perf.bench.ensemble", quick=quick, n_samples=n_samples,
-                  n_workers=n_workers, shard_size=shard_size):
-        serial, serial_wall = run(1)
-        parallel, parallel_wall = run(n_workers)
+                  n_workers=n_workers, shard_size=shard_size,
+                  n_replicas=n_replicas):
+        serial, serial_wall = run(1, shard_size, kernel)
+        parallel, parallel_wall = run(n_workers, shard_size, kernel)
+        # Batched section: shard_size=1 makes every replica its own engine
+        # call (the per-trajectory baseline); kernel="batched" stacks the
+        # same per-replica streams into one batched call.
+        per_traj, per_traj_wall = run(1, 1, "vectorized")
+        batched, batched_wall = run(1, 1, "batched")
 
     deterministic = (
         np.array_equal(serial.works, parallel.works)
         and np.array_equal(serial.positions, parallel.positions)
         and np.array_equal(serial.displacements, parallel.displacements)
+        and np.array_equal(per_traj.works, batched.works)
+        and np.array_equal(per_traj.positions, batched.positions)
+        and np.array_equal(per_traj.displacements, batched.displacements)
     )
+    batched_speedup = per_traj_wall / batched_wall
     if obs.enabled:
         obs.metrics.set_gauge("perf.ensemble.serial_wall_s", serial_wall)
         obs.metrics.set_gauge("perf.ensemble.parallel_wall_s", parallel_wall)
         obs.metrics.set_gauge("perf.ensemble.speedup",
                               serial_wall / parallel_wall)
+        obs.metrics.set_gauge("perf.ensemble.batched_wall_s", batched_wall)
+        obs.metrics.set_gauge("perf.ensemble.batched_speedup",
+                              batched_speedup)
 
     return {
         "schema": SCHEMA_ENSEMBLE,
@@ -95,6 +124,13 @@ def run_ensemble_benchmark(
         "speedup": serial_wall / parallel_wall,
         "samples_per_s_serial": n_samples / serial_wall,
         "samples_per_s_parallel": n_samples / parallel_wall,
+        "batched": {
+            "n_replicas": n_replicas,
+            "per_trajectory_wall_s": per_traj_wall,
+            "batched_wall_s": batched_wall,
+            "samples_per_s_batched": n_replicas / batched_wall,
+        },
+        "batched_speedup": batched_speedup,
         "deterministic": bool(deterministic),
         "metrics": metrics_snapshot(obs),
     }

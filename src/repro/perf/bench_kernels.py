@@ -30,7 +30,6 @@ from ..md import (
     Simulation,
     TopologyBuilder,
 )
-from ..md.kernels import KERNELS
 from ..obs import Obs, as_obs
 from ..rng import SeedLike, as_generator, as_seed_int
 from .harness import SCHEMA_KERNELS, metrics_snapshot, time_call
@@ -129,7 +128,9 @@ def run_kernel_benchmark(
     candidate_pairs = 0
     with obs.span("perf.bench.kernels", quick=quick,
                   n_particles=n_particles, n_steps=n_steps):
-        for kernel in KERNELS:
+        # Single-system kernels only: "batched" is a replica-layout, not a
+        # per-step code path, and is measured by the ensemble benchmark.
+        for kernel in ("reference", "vectorized"):
             sim = _make_simulation(n_particles, seed_int, kernel)
             with obs.span("perf.step_rate", kernel=kernel):
                 timing = time_call(lambda: sim.step(n_steps), repeats=repeats)

@@ -7,8 +7,9 @@ root, one per benchmark family:
   for the ``reference`` vs ``vectorized`` kernels plus neighbor-list
   rebuild cost (see :mod:`repro.perf.bench_kernels`);
 * ``BENCH_ensemble.json`` (:data:`SCHEMA_ENSEMBLE`) — work-ensemble
-  wall-clock, serial vs the process-pool executor, with the determinism
-  cross-check (see :mod:`repro.perf.bench_ensemble`).
+  wall-clock, serial vs the process-pool executor plus the replica-batched
+  engine vs per-trajectory execution, with the determinism cross-check
+  (see :mod:`repro.perf.bench_ensemble`).
 
 Each document carries a ``schema`` tag so future PRs can extend the format
 without ambiguity, and :func:`validate_bench_document` is the single
@@ -43,7 +44,7 @@ __all__ = [
 ]
 
 SCHEMA_KERNELS = "repro.bench.kernels/v1"
-SCHEMA_ENSEMBLE = "repro.bench.ensemble/v1"
+SCHEMA_ENSEMBLE = "repro.bench.ensemble/v2"
 
 
 @dataclass(frozen=True)
@@ -149,11 +150,17 @@ def validate_bench_document(doc: object) -> dict:
         _require_positive(doc, "parallel_wall_s")
         _require_positive(doc, "speedup")
         _require_positive(doc, "samples_per_s_parallel")
+        batched = _require(doc, "batched", dict)
+        _require_positive(batched, "n_replicas")
+        _require_positive(batched, "per_trajectory_wall_s")
+        _require_positive(batched, "batched_wall_s")
+        _require_positive(doc, "batched_speedup")
         deterministic = _require(doc, "deterministic", bool)
         if not deterministic:
             raise AnalysisError(
                 "malformed BENCH document: ensemble benchmark reports "
-                "deterministic=false — serial and parallel runs diverged"
+                "deterministic=false — executor legs diverged (serial vs "
+                "parallel, or batched vs per-trajectory)"
             )
         _require(doc, "metrics", dict)
     else:

@@ -147,20 +147,31 @@ class ReducedTranslocationModel:
         self,
         z: np.ndarray,
         dt: float,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None = None,
         spring_kappa: float = 0.0,
         spring_center: float | np.ndarray = 0.0,
+        *,
+        noise: np.ndarray | None = None,
     ) -> np.ndarray:
         """One Euler-Maruyama step for all replicas, in place.
 
         ``z`` is the ``(m,)`` replica coordinate array; the optional
-        harmonic spring models the SMD pulling trap.
+        harmonic spring models the SMD pulling trap.  ``noise`` supplies
+        pre-drawn standard normals instead of drawing from ``rng`` — the
+        replica-batched runner uses this to stack several independently
+        seeded groups into one step while each group keeps consuming its
+        own ``stream_for``-derived stream (bit-identity with per-group
+        stepping).
         """
         force = -np.asarray(self.potential.derivative(z), dtype=np.float64)
         if spring_kappa != 0.0:
             force = force + spring_kappa * (np.asarray(spring_center) - z)
         z += force * (dt / self.friction)
-        z += np.sqrt(2.0 * self.kT * dt / self.friction) * rng.standard_normal(z.shape)
+        if noise is None:
+            if rng is None:
+                raise ConfigurationError("step_ensemble needs rng or noise")
+            noise = rng.standard_normal(z.shape)
+        z += np.sqrt(2.0 * self.kT * dt / self.friction) * noise
         return z
 
     def equilibrate(

@@ -4,6 +4,14 @@ The two runners — :func:`~repro.smd.ensemble.run_pulling_ensemble` on the
 reduced 1-D model and :class:`~repro.smd.pulling.SMDPullingForce` +
 :class:`~repro.smd.pulling.SMDWorkRecorder` on the 3-D engine — produce the
 same work-curve record format, consumed by :mod:`repro.core`.
+
+Every ``run_*`` entry point shares one keyword contract — ``seed=``,
+``kernel=`` (``"vectorized"`` / ``"batched"`` / ``"reference"``), ``obs=``,
+``store=`` / ``store_key=``, and ``shard_size=`` where sharding applies —
+and under ``kernel="batched"`` routes whole shards (or a whole grid cell)
+through one replica-batched engine call (:mod:`repro.smd.batched`),
+bit-identical to per-trajectory execution with unchanged store
+fingerprints.
 """
 
 from .protocol import (
@@ -20,8 +28,14 @@ from .ensemble import (
     DEFAULT_SHARD_SIZE,
     PAPER_CPU_HOURS_PER_NS,
 )
+from .batched import run_pulling_groups
 from .ensemble3d import run_pulling_ensemble_3d
-from .pulling import SMDPullingForce, SMDWorkRecorder
+from .pulling import (
+    SMDPullingForce,
+    SMDWorkRecorder,
+    BatchedSMDPullingForce,
+    BatchedSMDWorkRecorder,
+)
 from .subtrajectory import SubTrajectoryPlan, plan_subtrajectories, stitch_pmfs
 
 __all__ = [
@@ -33,11 +47,14 @@ __all__ = [
     "run_pulling_ensemble",
     "run_pulling_ensemble_parallel",
     "run_work_ensemble",
+    "run_pulling_groups",
     "run_pulling_ensemble_3d",
     "DEFAULT_SHARD_SIZE",
     "PAPER_CPU_HOURS_PER_NS",
     "SMDPullingForce",
     "SMDWorkRecorder",
+    "BatchedSMDPullingForce",
+    "BatchedSMDWorkRecorder",
     "SubTrajectoryPlan",
     "plan_subtrajectories",
     "stitch_pmfs",

@@ -1,0 +1,193 @@
+"""Replica-batched pulling execution on the reduced 1-D model.
+
+:func:`run_pulling_groups` stacks several independently seeded replica
+groups — shards of one ensemble, or whole store tasks of a (kappa, v)
+cell — into a single ``(total,)`` coordinate vector and steps them all
+with one NumPy operation per integration step.  This is the
+``kernel="batched"`` backend of :func:`repro.smd.run_pulling_ensemble`,
+:func:`repro.smd.run_pulling_ensemble_parallel` and
+:func:`repro.smd.run_work_ensemble`.
+
+Bit-identity contract
+---------------------
+Each group's results are bit-identical to running that group alone through
+the vectorized runner with the same generator, because
+
+* the integration grid comes from the same shared derivation
+  (:func:`repro.smd.ensemble._integration_grid`);
+* every update is an elementwise NumPy expression, evaluated term by term
+  in the same order as the vectorized runner — elementwise ops are
+  value-independent across array slots, so a group's slice of the stacked
+  update equals the update of the group alone;
+* per-step noise is drawn *per group* from that group's own generator into
+  its contiguous slice of the stacked noise buffer
+  (``rng.standard_normal(out=noise[lo:hi])`` fills a contiguous view with
+  the identical variates as a fresh ``standard_normal(m)`` allocation), so
+  each generator consumes exactly the stream the per-group runner would.
+
+The potential's derivative is evaluated once on the concatenated
+coordinate vector; for :class:`~repro.pore.landscape.AxialLandscape` this
+is a row-wise matvec, and a row slice of the stacked matvec equals the
+matvec of the slice, so the per-group forces are unchanged bitwise.
+
+This module draws **no randomness of its own**: callers pass fully formed
+generators (derived via :func:`repro.rng.stream_for`), which is what makes
+the batch placement-invariant — lint rule SPICE105 enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
+from ..pore.reduced import ReducedTranslocationModel
+from .ensemble import (
+    DEFAULT_FORCE_SAMPLE_TIME,
+    PAPER_CPU_HOURS_PER_NS,
+    _integration_grid,
+    _record_schedule,
+)
+from .protocol import PullingProtocol
+from .work import WorkEnsemble
+
+__all__ = ["run_pulling_groups"]
+
+
+def _draw_noise(rngs: Sequence, offsets: np.ndarray, out: np.ndarray) -> None:
+    """Fill ``out`` with one standard normal per replica, group by group.
+
+    Group ``g`` owns the contiguous slice ``out[offsets[g]:offsets[g+1]]``
+    and draws it from its own generator — the stream consumption (and the
+    variates) match per-group ``standard_normal(m)`` calls exactly.
+    """
+    for g, rng in enumerate(rngs):
+        rng.standard_normal(out=out[offsets[g]:offsets[g + 1]])
+
+
+def run_pulling_groups(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    groups: Sequence[Tuple[np.random.Generator, int]],
+    *,
+    dt: Optional[float] = None,
+    n_records: int = 41,
+    force_sample_time: Optional[float] = DEFAULT_FORCE_SAMPLE_TIME,
+    cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    obs: Optional[Obs] = None,
+) -> List[WorkEnsemble]:
+    """Pull several independently seeded replica groups as one batch.
+
+    Parameters
+    ----------
+    groups:
+        ``(generator, n_samples)`` pairs, one per group.  Generators must
+        be fully formed :class:`numpy.random.Generator` instances (derive
+        them with :func:`repro.rng.stream_for`); this function draws no
+        randomness outside them.
+    obs:
+        Instrumentation handle; the whole batch runs inside one
+        ``smd.ensemble.batched`` host-clock span.  No work counters are
+        accumulated here — the entry points own the accounting (they know
+        which groups were store misses).
+
+    Returns
+    -------
+    One :class:`WorkEnsemble` per group, in input order, bit-identical to
+    running each group alone through the vectorized runner.
+    """
+    if not groups:
+        raise ConfigurationError("need at least one replica group")
+    if n_records < 2:
+        raise ConfigurationError("n_records must be at least 2")
+    rngs = []
+    sizes = []
+    for g, (rng, m) in enumerate(groups):
+        if not isinstance(rng, np.random.Generator):
+            raise ConfigurationError(
+                f"group {g}: batched execution needs a numpy Generator "
+                f"(derive one with repro.rng.stream_for), got {type(rng).__name__}"
+            )
+        if m < 1:
+            raise ConfigurationError(f"group {g}: n_samples must be at least 1")
+        rngs.append(rng)
+        sizes.append(int(m))
+    offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.intp)
+    total = int(offsets[-1])
+
+    obs = as_obs(obs)
+    kappa, dt_eff, n_steps, stride, n_strides = _integration_grid(
+        model, protocol, dt, n_records, force_sample_time
+    )
+    duration = protocol.duration_ns
+    start = protocol.start_z
+
+    with obs.span("smd.ensemble.batched", kappa_pn=protocol.kappa_pn,
+                  velocity=protocol.velocity, n_groups=len(groups),
+                  n_replicas=total):
+        # Equilibrate every group in the static trap (mirrors
+        # ReducedTranslocationModel.equilibrate term by term).
+        if kappa > 0.0:
+            spread = np.sqrt(model.kT / kappa)
+        else:
+            spread = 1.0
+        z = np.empty(total, dtype=np.float64)
+        for g, rng in enumerate(rngs):
+            z[offsets[g]:offsets[g + 1]] = (
+                start + spread * rng.standard_normal(sizes[g])
+            )
+        noise = np.empty(total, dtype=np.float64)
+        eq_ns = protocol.equilibration_ns
+        eq_steps = int(np.ceil(eq_ns / dt_eff)) if eq_ns > 0 else 0
+        for _ in range(eq_steps):
+            _draw_noise(rngs, offsets, noise)
+            model.step_ensemble(z, dt_eff, None, spring_kappa=kappa,
+                                spring_center=start, noise=noise)
+
+        record_at = _record_schedule(n_strides, n_records) * stride
+
+        works = np.zeros((total, n_records), dtype=np.float64)
+        positions = np.zeros((total, n_records), dtype=np.float64)
+        displacements = np.zeros(n_records, dtype=np.float64)
+        positions[:, 0] = z
+        w = np.zeros(total, dtype=np.float64)
+
+        v = protocol.velocity
+        exact = force_sample_time is None
+        f_prev = kappa * (start - z)
+        lam = start
+        rec = 1
+        for step in range(1, n_steps + 1):
+            lam_new = start + v * step * dt_eff
+            if exact:
+                w += kappa * (lam_new - lam) * (0.5 * (lam + lam_new) - z)
+            lam = lam_new
+            _draw_noise(rngs, offsets, noise)
+            model.step_ensemble(z, dt_eff, None, spring_kappa=kappa,
+                                spring_center=lam, noise=noise)
+            if not exact and step % stride == 0:
+                f_now = kappa * (lam - z)
+                w += v * (stride * dt_eff) * 0.5 * (f_prev + f_now)
+                f_prev = f_now
+            if step == record_at[rec]:
+                works[:, rec] = w
+                positions[:, rec] = z
+                displacements[rec] = lam - start
+                rec += 1
+        assert rec == n_records, "record schedule must consume all stations"
+
+    per_replica_ns = duration + protocol.equilibration_ns
+    ensembles = []
+    for g in range(len(groups)):
+        lo, hi = int(offsets[g]), int(offsets[g + 1])
+        ensembles.append(WorkEnsemble(
+            protocol=protocol,
+            displacements=displacements.copy(),
+            works=works[lo:hi].copy(),
+            positions=positions[lo:hi].copy(),
+            temperature=model.temperature,
+            cpu_hours=sizes[g] * per_replica_ns * cpu_hours_per_ns,
+        ))
+    return ensembles

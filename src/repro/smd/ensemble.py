@@ -22,7 +22,9 @@ scheduling work at paper scale.
 
 from __future__ import annotations
 
+import math
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from functools import reduce
 from typing import Optional, Tuple
@@ -30,6 +32,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, StoreError
+from ..md.kernels import validate_kernel
 from ..obs import Obs, as_obs
 from ..pore.reduced import ReducedTranslocationModel
 from ..rng import SeedLike, as_generator, as_seed_int, stream_for
@@ -58,6 +61,47 @@ DEFAULT_FORCE_SAMPLE_TIME: float = 2.0e-3
 #: :func:`run_pulling_ensemble_parallel`): changing the shard size changes
 #: which RNG stream drives which replica, changing the worker count does not.
 DEFAULT_SHARD_SIZE: int = 8
+
+
+def _integration_grid(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    dt: Optional[float],
+    n_records: int,
+    force_sample_time: Optional[float],
+) -> Tuple[float, float, int, int, int]:
+    """Shared integration-grid derivation for every execution kernel.
+
+    Returns ``(kappa, dt_eff, n_steps, stride, n_strides)``.  Factored out
+    so the batched runner (:mod:`repro.smd.batched`) integrates on exactly
+    the grid the per-trajectory runner would — a precondition of the
+    bit-identity contract.
+    """
+    kappa = protocol.kappa_internal
+    z_end = protocol.start_z + protocol.distance
+    stiffness = kappa + model.max_curvature(protocol.start_z - 2.0, z_end + 2.0)
+    if dt is None:
+        dt = model.stable_timestep(stiffness)
+    if dt <= 0.0:
+        raise ConfigurationError("dt must be positive")
+
+    duration = protocol.duration_ns
+    n_steps = max(int(np.ceil(duration / dt)), n_records - 1)
+
+    # Force-sampling stride in steps (>= 1).  The record stations must land
+    # on sampling points so recorded work is always a completed trapezoid.
+    if force_sample_time is not None:
+        if force_sample_time <= 0.0:
+            raise ConfigurationError("force_sample_time must be positive")
+        stride = max(int(round(force_sample_time / (duration / n_steps))), 1)
+    else:
+        stride = 1
+    # Round the step count up to a whole number of strides and at least
+    # (n_records - 1) strides so records align with samples.
+    n_strides = max(int(np.ceil(n_steps / stride)), n_records - 1)
+    n_steps = n_strides * stride
+    dt_eff = duration / n_steps
+    return kappa, dt_eff, n_steps, stride, n_strides
 
 
 def _store_seed_key(seed, store_key):
@@ -92,6 +136,7 @@ def run_pulling_ensemble(
     obs: Optional[Obs] = None,
     store=None,
     store_key=None,
+    kernel: str = "vectorized",
 ) -> WorkEnsemble:
     """Run ``n_samples`` constant-velocity pulls and collect work curves.
 
@@ -131,11 +176,21 @@ def run_pulling_ensemble(
         :func:`repro.rng.stream_for`.  Integer seeds need no key.  The
         caller must pass the generator *unconsumed* — the fingerprint
         asserts the stream's identity, not its state.
+    kernel:
+        Execution kernel: ``"vectorized"`` (default; one NumPy vector over
+        the replicas), ``"batched"`` (routes through the replica-batched
+        engine in :mod:`repro.smd.batched` — identical math, one stacked
+        call even when several groups share the step loop) or
+        ``"reference"`` (per-replica scalar Python loop, the oracle the
+        batched path is verified against).  All three are bit-identical;
+        the kernel is an execution layout, not part of the result's
+        identity, so store fingerprints do not include it.
     """
     if n_samples < 1:
         raise ConfigurationError("n_samples must be at least 1")
     if n_records < 2:
         raise ConfigurationError("n_records must be at least 2")
+    validate_kernel(kernel)
     if store is not None:
         from ..store import pulling_task
 
@@ -148,34 +203,53 @@ def run_pulling_ensemble(
         return store.get_or_run(task, lambda: run_pulling_ensemble(
             model, protocol, n_samples, dt=dt, n_records=n_records,
             force_sample_time=force_sample_time, seed=seed,
-            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs))
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs, kernel=kernel))
     obs = as_obs(obs)
+
+    if kernel == "batched":
+        # One single-group batched call: same streams, same grid, same
+        # arithmetic — the batched engine is bit-identical by contract.
+        from .batched import run_pulling_groups
+
+        ensembles = run_pulling_groups(
+            model, protocol, [(as_generator(seed), n_samples)],
+            dt=dt, n_records=n_records, force_sample_time=force_sample_time,
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs,
+        )
+        ensemble = ensembles[0]
+        if obs.enabled:
+            obs.metrics.inc("smd.je_samples", n_samples)
+            obs.metrics.inc("smd.sim_ns", ensemble.cpu_hours / cpu_hours_per_ns)
+            obs.metrics.inc("smd.cpu_hours", ensemble.cpu_hours)
+        return ensemble
+
     rng = as_generator(seed)
-
-    kappa = protocol.kappa_internal
-    z_end = protocol.start_z + protocol.distance
-    stiffness = kappa + model.max_curvature(protocol.start_z - 2.0, z_end + 2.0)
-    if dt is None:
-        dt = model.stable_timestep(stiffness)
-    if dt <= 0.0:
-        raise ConfigurationError("dt must be positive")
-
+    kappa, dt_eff, n_steps, stride, n_strides = _integration_grid(
+        model, protocol, dt, n_records, force_sample_time
+    )
     duration = protocol.duration_ns
-    n_steps = max(int(np.ceil(duration / dt)), n_records - 1)
 
-    # Force-sampling stride in steps (>= 1).  The record stations must land
-    # on sampling points so recorded work is always a completed trapezoid.
-    if force_sample_time is not None:
-        if force_sample_time <= 0.0:
-            raise ConfigurationError("force_sample_time must be positive")
-        stride = max(int(round(force_sample_time / (duration / n_steps))), 1)
-    else:
-        stride = 1
-    # Round the step count up to a whole number of strides and at least
-    # (n_records - 1) strides so records align with samples.
-    n_strides = max(int(np.ceil(n_steps / stride)), n_records - 1)
-    n_steps = n_strides * stride
-    dt_eff = duration / n_steps
+    if kernel == "reference":
+        with obs.span("smd.ensemble", kappa_pn=protocol.kappa_pn,
+                      velocity=protocol.velocity, n_samples=n_samples):
+            works, positions, displacements = _run_pulling_reference(
+                model, protocol, n_samples, rng,
+                kappa, dt_eff, n_steps, stride, n_strides, n_records,
+                exact=force_sample_time is None,
+            )
+        total_sim_ns = n_samples * (duration + protocol.equilibration_ns)
+        if obs.enabled:
+            obs.metrics.inc("smd.je_samples", n_samples)
+            obs.metrics.inc("smd.sim_ns", total_sim_ns)
+            obs.metrics.inc("smd.cpu_hours", total_sim_ns * cpu_hours_per_ns)
+        return WorkEnsemble(
+            protocol=protocol,
+            displacements=displacements,
+            works=works,
+            positions=positions,
+            temperature=model.temperature,
+            cpu_hours=total_sim_ns * cpu_hours_per_ns,
+        )
 
     # The whole integration runs inside one host-clock span: its wall
     # duration is the denominator of the JE samples/sec rate.
@@ -240,6 +314,94 @@ def run_pulling_ensemble(
     )
 
 
+def _run_pulling_reference(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    n_samples: int,
+    rng: np.random.Generator,
+    kappa: float,
+    dt_eff: float,
+    n_steps: int,
+    stride: int,
+    n_strides: int,
+    n_records: int,
+    exact: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-replica scalar-loop oracle for the pulling ensemble.
+
+    Draws each step's noise as one vector (the same stream consumption as
+    the vectorized runner) and evaluates the potential derivative on the
+    replica vector (NumPy's array transcendentals use SIMD code paths that
+    can differ from the scalar libm path by one ULP, so a scalar-by-scalar
+    derivative would *not* reproduce the vectorized runner bitwise — array
+    slices of the same call do, which is what the batched kernel relies
+    on).  Every other update is scalar float64 arithmetic mirroring the
+    vectorized expressions term by term, so the result is bit-identical —
+    the oracle the batched and vectorized kernels are tested against.
+    """
+    start = protocol.start_z
+    v = protocol.velocity
+    kT = model.kT
+    friction = model.friction
+    drift = dt_eff / friction
+    noise_scale = math.sqrt(2.0 * kT * dt_eff / friction)
+
+    def deriv(zs: list) -> np.ndarray:
+        z_arr = np.asarray(zs, dtype=np.float64)
+        return np.asarray(model.potential.derivative(z_arr), dtype=np.float64)
+
+    # Equilibrate (mirrors ReducedTranslocationModel.equilibrate).
+    spread = math.sqrt(kT / kappa) if kappa > 0.0 else 1.0
+    init = rng.standard_normal(n_samples)
+    z = [start + spread * float(init[i]) for i in range(n_samples)]
+    eq_ns = protocol.equilibration_ns
+    eq_steps = int(np.ceil(eq_ns / dt_eff)) if eq_ns > 0 else 0
+    for _ in range(eq_steps):
+        xi = rng.standard_normal(n_samples)
+        d = deriv(z)
+        for i in range(n_samples):
+            f = -float(d[i]) + kappa * (start - z[i])
+            z_new = z[i] + f * drift
+            z[i] = z_new + noise_scale * float(xi[i])
+
+    record_at = _record_schedule(n_strides, n_records) * stride
+    works = np.zeros((n_samples, n_records), dtype=np.float64)
+    positions = np.zeros((n_samples, n_records), dtype=np.float64)
+    displacements = np.zeros(n_records, dtype=np.float64)
+    positions[:, 0] = z
+    w = [0.0] * n_samples
+    f_prev = [kappa * (start - z[i]) for i in range(n_samples)]
+    lam = start
+    rec = 1
+    for step in range(1, n_steps + 1):
+        lam_new = start + v * step * dt_eff
+        if exact:
+            a = kappa * (lam_new - lam)
+            mid = 0.5 * (lam + lam_new)
+            for i in range(n_samples):
+                w[i] += a * (mid - z[i])
+        lam = lam_new
+        xi = rng.standard_normal(n_samples)
+        d = deriv(z)
+        for i in range(n_samples):
+            f = -float(d[i]) + kappa * (lam - z[i])
+            z_new = z[i] + f * drift
+            z[i] = z_new + noise_scale * float(xi[i])
+        if not exact and step % stride == 0:
+            c = v * (stride * dt_eff) * 0.5
+            for i in range(n_samples):
+                f_now = kappa * (lam - z[i])
+                w[i] += c * (f_prev[i] + f_now)
+                f_prev[i] = f_now
+        if step == record_at[rec]:
+            works[:, rec] = w
+            positions[:, rec] = z
+            displacements[rec] = lam - start
+            rec += 1
+    assert rec == n_records, "record schedule must consume all stations"
+    return works, positions, displacements
+
+
 def _shard_sizes(n_samples: int, shard_size: int) -> list:
     """Fixed decomposition of ``n_samples`` replicas into shards.
 
@@ -260,12 +422,12 @@ def _run_shard(payload: Tuple) -> WorkEnsemble:
     or any other placement.
     """
     (model, protocol, shard_n, base_seed, shard_index, dt, n_records,
-     force_sample_time, cpu_hours_per_ns) = payload
+     force_sample_time, cpu_hours_per_ns, kernel) = payload
     return run_pulling_ensemble(
         model, protocol, shard_n,
         dt=dt, n_records=n_records, force_sample_time=force_sample_time,
         seed=stream_for(base_seed, "smd.shard", shard_index),
-        cpu_hours_per_ns=cpu_hours_per_ns,
+        cpu_hours_per_ns=cpu_hours_per_ns, kernel=kernel,
     )
 
 
@@ -283,6 +445,7 @@ def run_pulling_ensemble_parallel(
     obs: Optional[Obs] = None,
     store=None,
     store_key=None,
+    kernel: str = "vectorized",
 ) -> WorkEnsemble:
     """Run a pulling ensemble as independent shards, optionally in parallel.
 
@@ -328,6 +491,15 @@ def run_pulling_ensemble_parallel(
         from the serial runner's, so the two never share records.
         ``n_workers`` is execution placement, not identity, and is
         deliberately *not* fingerprinted.
+    kernel:
+        Execution kernel.  ``"batched"`` routes *all* shards through one
+        in-process call of the replica-batched engine
+        (:func:`repro.smd.batched.run_pulling_groups`): each shard keeps
+        its own ``stream_for(seed, "smd.shard", b)`` stream, so the result
+        — and the store fingerprint — is bit-identical to the sharded
+        vectorized run; ``n_workers`` is ignored in this mode (the batch
+        replaces the process pool).  ``"vectorized"`` / ``"reference"``
+        execute per shard as before.
 
     Remaining parameters match :func:`run_pulling_ensemble`.
     """
@@ -339,6 +511,7 @@ def run_pulling_ensemble_parallel(
         n_workers = os.cpu_count() or 1
     if n_workers < 1:
         raise ConfigurationError("n_workers must be at least 1 (or None)")
+    validate_kernel(kernel)
     if store is not None:
         from ..store import pulling_task
 
@@ -353,27 +526,41 @@ def run_pulling_ensemble_parallel(
             model, protocol, n_samples, n_workers=n_workers,
             shard_size=shard_size, dt=dt, n_records=n_records,
             force_sample_time=force_sample_time, seed=seed,
-            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs))
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs, kernel=kernel))
     obs = as_obs(obs)
 
     base_seed = as_seed_int(seed)
     sizes = _shard_sizes(n_samples, shard_size)
-    payloads = [
-        (model, protocol, shard_n, base_seed, b, dt, n_records,
-         force_sample_time, cpu_hours_per_ns)
-        for b, shard_n in enumerate(sizes)
-    ]
 
     with obs.span("smd.ensemble.parallel", kappa_pn=protocol.kappa_pn,
                   velocity=protocol.velocity, n_samples=n_samples,
                   n_workers=n_workers, n_shards=len(sizes)):
-        if n_workers == 1 or len(payloads) == 1:
-            shards = [_run_shard(p) for p in payloads]
+        if kernel == "batched":
+            from .batched import run_pulling_groups
+
+            groups = [
+                (stream_for(base_seed, "smd.shard", b), shard_n)
+                for b, shard_n in enumerate(sizes)
+            ]
+            shards = run_pulling_groups(
+                model, protocol, groups,
+                dt=dt, n_records=n_records,
+                force_sample_time=force_sample_time,
+                cpu_hours_per_ns=cpu_hours_per_ns, obs=obs,
+            )
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(payloads))
-            ) as pool:
-                shards = list(pool.map(_run_shard, payloads))
+            payloads = [
+                (model, protocol, shard_n, base_seed, b, dt, n_records,
+                 force_sample_time, cpu_hours_per_ns, kernel)
+                for b, shard_n in enumerate(sizes)
+            ]
+            if n_workers == 1 or len(payloads) == 1:
+                shards = [_run_shard(p) for p in payloads]
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(payloads))
+                ) as pool:
+                    shards = list(pool.map(_run_shard, payloads))
 
     ensemble = reduce(WorkEnsemble.merged_with, shards)
     if obs.enabled:
@@ -383,13 +570,18 @@ def run_pulling_ensemble_parallel(
     return ensemble
 
 
+#: Sentinel distinguishing "``base_seed`` not passed" from ``base_seed=None``
+#: (``None`` is a meaningful seed: fresh entropy).
+_UNSET = object()
+
+
 def run_work_ensemble(
     model: ReducedTranslocationModel,
     protocol: PullingProtocol,
     n_tasks: int,
     samples_per_task: int,
     *,
-    base_seed: SeedLike = None,
+    seed: SeedLike = None,
     labels: Tuple = (),
     store=None,
     dt: Optional[float] = None,
@@ -397,6 +589,8 @@ def run_work_ensemble(
     force_sample_time: Optional[float] = DEFAULT_FORCE_SAMPLE_TIME,
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
     obs: Optional[Obs] = None,
+    kernel: str = "vectorized",
+    base_seed: SeedLike = _UNSET,  # type: ignore[assignment]
 ) -> WorkEnsemble:
     """Run one (kappa, v) cell as ``n_tasks`` restartable store-addressed tasks.
 
@@ -404,9 +598,9 @@ def run_work_ensemble(
     ensemble is decomposed into ``n_tasks`` sub-ensembles of
     ``samples_per_task`` replicas each — the paper's "72 independent jobs"
     granularity — and each task draws its own RNG stream
-    ``stream_for(base_seed, *labels, "task", t)``.  The decomposition is
+    ``stream_for(seed, *labels, "task", t)``.  The decomposition is
     therefore part of the result's identity: a task's physics depends only
-    on ``(base_seed, labels, t)`` and the integration settings, never on
+    on ``(seed, labels, t)`` and the integration settings, never on
     which process ran it or in what order, so with a ``store`` attached a
     killed campaign re-run recomputes exactly the tasks whose records are
     missing and the merged ensemble is bit-identical either way.
@@ -418,37 +612,137 @@ def run_work_ensemble(
     samples_per_task:
         JE samples each task contributes; the merged ensemble has
         ``n_tasks * samples_per_task`` rows, in task order.
-    base_seed / labels:
+    seed / labels:
         Stream key prefix; ``labels`` names the cell (e.g.
         ``("cell", 100000, 12500)``) so distinct cells never share streams.
     store:
         Optional :class:`repro.store.ResultStore`; each task is memoized
-        individually under its full stream key.
+        individually under its full stream key.  Task fingerprints never
+        include the kernel, so records written by any kernel are hits for
+        every other (they are bit-identical by contract).
+    kernel:
+        Execution kernel, as in :func:`run_pulling_ensemble`.  Under
+        ``"batched"`` the whole cell — every task that is not already in
+        the store — runs through *one* stacked engine call; each task
+        still consumes its own ``stream_for`` stream, so results and
+        store records match the per-task kernels bit for bit.
+    base_seed:
+        Deprecated alias of ``seed`` (the historical divergent name);
+        passing it emits a :class:`DeprecationWarning`.
 
     Remaining parameters match :func:`run_pulling_ensemble`.
     """
+    if base_seed is not _UNSET:
+        warnings.warn(
+            "run_work_ensemble(base_seed=...) is deprecated; use seed=",
+            DeprecationWarning, stacklevel=2,
+        )
+        if seed is not None:
+            raise ConfigurationError(
+                "pass either seed= or the deprecated base_seed=, not both"
+            )
+        seed = base_seed
     if n_tasks < 1:
         raise ConfigurationError("n_tasks must be at least 1")
     if samples_per_task < 1:
         raise ConfigurationError("samples_per_task must be at least 1")
+    validate_kernel(kernel)
     obs = as_obs(obs)
-    base = as_seed_int(base_seed)
+    base = as_seed_int(seed)
 
-    parts = []
     with obs.span("smd.work_ensemble", kappa_pn=protocol.kappa_pn,
                   velocity=protocol.velocity, n_tasks=n_tasks,
                   samples_per_task=samples_per_task):
-        for t in range(n_tasks):
-            key = (base, *labels, "task", t)
-            parts.append(run_pulling_ensemble(
-                model, protocol, samples_per_task,
-                dt=dt, n_records=n_records,
-                force_sample_time=force_sample_time,
-                seed=stream_for(base, *labels, "task", t),
-                cpu_hours_per_ns=cpu_hours_per_ns, obs=obs,
-                store=store, store_key=key,
-            ))
+        if kernel == "batched":
+            parts = _run_work_ensemble_batched(
+                model, protocol, n_tasks, samples_per_task, base, labels,
+                store, dt, n_records, force_sample_time, cpu_hours_per_ns,
+                obs,
+            )
+        else:
+            parts = []
+            for t in range(n_tasks):
+                key = (base, *labels, "task", t)
+                parts.append(run_pulling_ensemble(
+                    model, protocol, samples_per_task,
+                    dt=dt, n_records=n_records,
+                    force_sample_time=force_sample_time,
+                    seed=stream_for(base, *labels, "task", t),
+                    cpu_hours_per_ns=cpu_hours_per_ns, obs=obs,
+                    store=store, store_key=key, kernel=kernel,
+                ))
     return reduce(WorkEnsemble.merged_with, parts)
+
+
+def _run_work_ensemble_batched(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    n_tasks: int,
+    samples_per_task: int,
+    base: int,
+    labels: Tuple,
+    store,
+    dt: Optional[float],
+    n_records: int,
+    force_sample_time: Optional[float],
+    cpu_hours_per_ns: float,
+    obs: Obs,
+) -> list:
+    """Whole-cell batched execution for :func:`run_work_ensemble`.
+
+    Store hits are honoured per task (same fingerprints as the per-task
+    kernels); every *miss* joins one stacked
+    :func:`repro.smd.batched.run_pulling_groups` call.  Work counters
+    accumulate only for tasks actually computed, matching the per-task
+    path's miss-only accounting.
+    """
+    from .batched import run_pulling_groups
+
+    if store is None:
+        tasks = []
+        missing = list(range(n_tasks))
+        cached = {}
+    else:
+        from ..store import pulling_task, task_fingerprint
+
+        tasks = [
+            pulling_task(
+                model, protocol, n_samples=samples_per_task,
+                n_records=n_records, force_sample_time=force_sample_time,
+                dt=dt, cpu_hours_per_ns=cpu_hours_per_ns,
+                seed_key=(base, *labels, "task", t),
+            )
+            for t in range(n_tasks)
+        ]
+        cached = {}
+        missing = []
+        for t, task in enumerate(tasks):
+            hit = store.get(task_fingerprint(task))
+            if hit is not None:
+                cached[t] = hit
+            else:
+                missing.append(t)
+
+    if missing:
+        groups = [
+            (stream_for(base, *labels, "task", t), samples_per_task)
+            for t in missing
+        ]
+        computed = run_pulling_groups(
+            model, protocol, groups,
+            dt=dt, n_records=n_records,
+            force_sample_time=force_sample_time,
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs,
+        )
+        for t, ens in zip(missing, computed):
+            cached[t] = ens
+            if store is not None:
+                store.put(tasks[t], ens)
+            if obs.enabled:
+                obs.metrics.inc("smd.je_samples", ens.n_samples)
+                obs.metrics.inc("smd.sim_ns", ens.cpu_hours / cpu_hours_per_ns)
+                obs.metrics.inc("smd.cpu_hours", ens.cpu_hours)
+    return [cached[t] for t in range(n_tasks)]
 
 
 def _record_schedule(n_strides: int, n_records: int) -> np.ndarray:

@@ -20,12 +20,19 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..md.batch import BatchedSimulation
+from ..md.kernels import validate_kernel
 from ..obs import Obs, as_obs
 from ..pore.assembly import build_translocation_simulation
 from ..rng import SeedLike, as_generator, stream_for
 from .ensemble import PAPER_CPU_HOURS_PER_NS
 from .protocol import PullingProtocol
-from .pulling import SMDPullingForce, SMDWorkRecorder
+from .pulling import (
+    BatchedSMDPullingForce,
+    BatchedSMDWorkRecorder,
+    SMDPullingForce,
+    SMDWorkRecorder,
+)
 from .work import WorkEnsemble
 
 __all__ = ["run_pulling_ensemble_3d"]
@@ -43,6 +50,7 @@ def run_pulling_ensemble_3d(
     obs: Optional[Obs] = None,
     store=None,
     store_key=None,
+    kernel: str = "vectorized",
 ) -> WorkEnsemble:
     """Run ``n_samples`` independent 3-D pulls of the CG system.
 
@@ -59,11 +67,19 @@ def run_pulling_ensemble_3d(
     :class:`repro.store.ResultStore` under the ``smd.cg3d/v1`` kernel tag,
     with the same seed-identity rules as the reduced runner: an int seed
     fingerprints directly, a generator needs its ``stream_for`` key.
+
+    ``kernel`` selects the execution layout: ``"batched"`` stacks all
+    replicas into one :class:`~repro.md.batch.BatchedSimulation` (R systems
+    per force/integrator call); ``"vectorized"`` and ``"reference"`` both
+    run the per-trajectory loop, which for the 3-D engine *is* the oracle
+    the batched path is verified against.  All kernels are bit-identical
+    and share store fingerprints.
     """
     if n_samples < 1:
         raise ConfigurationError("n_samples must be at least 1")
     if n_records < 2:
         raise ConfigurationError("n_records must be at least 2")
+    validate_kernel(kernel)
     if store is not None:
         from ..store import pulling_task_3d
         from .ensemble import _store_seed_key
@@ -77,10 +93,16 @@ def run_pulling_ensemble_3d(
         return store.get_or_run(task, lambda: run_pulling_ensemble_3d(
             protocol, n_samples, n_bases=n_bases, n_records=n_records,
             axis=axis, start_com_z=start_com_z, seed=seed,
-            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs))
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs, kernel=kernel))
     obs = as_obs(obs)
     base = as_generator(seed)
     master = int(base.integers(0, 2**31))
+
+    if kernel == "batched":
+        return _run_3d_batched(
+            protocol, n_samples, n_bases, n_records, axis, start_com_z,
+            master, cpu_hours_per_ns, obs,
+        )
 
     works = np.zeros((n_samples, n_records), dtype=np.float64)
     positions = np.zeros((n_samples, n_records), dtype=np.float64)
@@ -139,6 +161,93 @@ def run_pulling_ensemble_3d(
     return WorkEnsemble(
         protocol=protocol,
         displacements=displacements,
+        works=works,
+        positions=positions,
+        temperature=300.0,
+        cpu_hours=total_ns * cpu_hours_per_ns,
+    )
+
+
+def _run_3d_batched(
+    protocol: PullingProtocol,
+    n_samples: int,
+    n_bases: int,
+    n_records: int,
+    axis,
+    start_com_z: float,
+    master: int,
+    cpu_hours_per_ns: float,
+    obs: Obs,
+) -> WorkEnsemble:
+    """All replicas of the 3-D ensemble as one batched engine run.
+
+    Each replica is still *built* from its own ``stream_for(master,
+    "smd3d", rep)`` stream — construction consumes exactly what the
+    per-trajectory loop would — then the R systems are stacked into one
+    :class:`~repro.md.batch.BatchedSimulation` whose per-replica generators
+    keep driving their replica's thermostat noise.  The trap anchoring,
+    work recording and grid interpolation mirror the per-trajectory loop
+    term by term, so results are bit-identical (enforced by test).
+    """
+    works = np.zeros((n_samples, n_records), dtype=np.float64)
+    positions = np.zeros((n_samples, n_records), dtype=np.float64)
+
+    with obs.span("smd.ensemble3d", n_samples=n_samples, n_bases=n_bases,
+                  kernel="batched"):
+        builds = [
+            build_translocation_simulation(
+                n_bases=n_bases,
+                start_z=start_com_z - (n_bases - 1) * 6.5 / 2.0,
+                seed=stream_for(master, "smd3d", rep),
+            )
+            for rep in range(n_samples)
+        ]
+        batched = BatchedSimulation.from_simulations(
+            [ts.simulation for ts in builds]
+        )
+        if protocol.equilibration_ns > 0:
+            batched.run_until(protocol.equilibration_ns)
+
+        dna = builds[0].dna_indices
+        masses = builds[0].simulation.system.masses
+        a = np.asarray(axis, dtype=np.float64)
+        a = a / np.linalg.norm(a)
+        protos = [
+            protocol.with_start(float(
+                (masses[dna] / masses[dna].sum())
+                @ batched.batch.positions[rep][dna] @ a
+            ))
+            for rep in range(n_samples)
+        ]
+        smd = BatchedSMDPullingForce(protos, dna, masses, axis=a)
+        batched.forces.append(smd)
+        batched.invalidate_caches()
+
+        n_steps = int(np.ceil(protos[0].duration_ns / batched.integrator.dt))
+        stride = max(n_steps // 400, 1)
+        recorder = BatchedSMDWorkRecorder(smd, record_stride=stride)
+        batched.add_reporter(recorder)
+        batched.step(n_steps)
+
+        arrays = recorder.arrays()
+        grid = np.linspace(0.0, protos[0].distance, n_records)
+        for rep in range(n_samples):
+            disp = arrays["displacements"][rep]
+            order = np.argsort(disp)
+            works[rep] = np.interp(grid, disp[order],
+                                   arrays["works"][rep][order])
+            positions[rep] = np.interp(grid, disp[order],
+                                       arrays["coordinates"][rep][order])
+            works[rep] -= works[rep][0]
+
+    total_ns = n_samples * (protos[0].duration_ns + protocol.equilibration_ns)
+    if obs.enabled:
+        obs.metrics.inc("smd.je_samples_3d", n_samples)
+        obs.metrics.inc("smd.sim_ns", total_ns)
+        obs.metrics.inc("smd.cpu_hours", total_ns * cpu_hours_per_ns)
+    return WorkEnsemble(
+        protocol=protocol,
+        displacements=grid,
         works=works,
         positions=positions,
         temperature=300.0,

@@ -14,14 +14,19 @@ record streams as the reduced model.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from .protocol import PullingProtocol
 
-__all__ = ["SMDPullingForce", "SMDWorkRecorder"]
+__all__ = [
+    "SMDPullingForce",
+    "SMDWorkRecorder",
+    "BatchedSMDPullingForce",
+    "BatchedSMDWorkRecorder",
+]
 
 
 class SMDPullingForce:
@@ -149,4 +154,148 @@ class SMDWorkRecorder:
             "works": np.asarray(self.works, dtype=np.float64),
             "displacements": np.asarray(self.displacements, dtype=np.float64),
             "coordinates": np.asarray(self.coordinates, dtype=np.float64),
+        }
+
+
+class BatchedSMDPullingForce:
+    """Per-replica moving traps for the replica-batched engine.
+
+    One trap per replica, sharing stiffness, velocity and duration but each
+    anchored at its own replica's starting coordinate (``protocols[r]`` is
+    typically ``protocol.with_start(q0_r)``).  ``compute_batched`` applies
+    each replica's trap with *scalar arithmetic identical term by term* to
+    :meth:`SMDPullingForce.compute`, so a batched pull is bit-identical to
+    per-replica pulls — the projected-COM coordinate in particular uses the
+    same two-stage matvec (``weights @ positions`` then ``com @ axis``),
+    because a stacked einsum would associate the reduction differently and
+    break bit-identity.
+    """
+
+    def __init__(
+        self,
+        protocols: Sequence[PullingProtocol],
+        indices: np.ndarray,
+        masses: np.ndarray,
+        axis: np.ndarray = (0.0, 0.0, 1.0),
+    ) -> None:
+        if not protocols:
+            raise ConfigurationError("need at least one per-replica protocol")
+        first = protocols[0]
+        for p in protocols:
+            if (p.kappa_internal != first.kappa_internal
+                    or p.velocity != first.velocity
+                    or p.duration_ns != first.duration_ns):
+                raise ConfigurationError(
+                    "batched SMD replicas must share kappa, velocity and "
+                    "duration (only the start coordinate may differ)"
+                )
+        self.protocols = list(protocols)
+        self._indices = np.asarray(indices, dtype=np.intp)
+        if self._indices.size == 0:
+            raise ConfigurationError("SMD needs at least one pulled atom")
+        m = np.asarray(masses, dtype=np.float64)[self._indices]
+        self._weights = m / m.sum()
+        a = np.asarray(axis, dtype=np.float64).reshape(3)
+        norm = np.linalg.norm(a)
+        if norm == 0.0:
+            raise ConfigurationError("pull axis must be non-zero")
+        self._axis = a / norm
+        self._time_ns = 0.0
+        self.kappa = first.kappa_internal
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.protocols)
+
+    def set_time(self, t_ns: float) -> None:
+        """Set the pull clock (0 = pull start) for every replica's trap."""
+        if t_ns < 0.0:
+            raise ConfigurationError("pull time cannot be negative")
+        self._time_ns = float(t_ns)
+
+    def coordinate(self, positions_r: np.ndarray) -> float:
+        """Projected COM coordinate of one replica's ``(N, 3)`` positions."""
+        com = self._weights @ positions_r[self._indices]
+        return float(com @ self._axis)
+
+    def compute_batched(self, positions: np.ndarray, forces: np.ndarray) -> np.ndarray:
+        """Apply each replica's trap; returns ``(R,)`` energies."""
+        energies = np.zeros(positions.shape[0], dtype=np.float64)
+        for r, proto in enumerate(self.protocols):
+            q = self.coordinate(positions[r])
+            stretch = proto.trap_position(self._time_ns) - q
+            energy = 0.5 * self.kappa * stretch**2
+            f_along = self.kappa * stretch
+            np.add.at(
+                forces[r],
+                self._indices,
+                (f_along * self._weights)[:, None] * self._axis[None, :],
+            )
+            energies[r] = float(energy)
+        return energies
+
+
+class BatchedSMDWorkRecorder:
+    """Per-replica work integration for the replica-batched engine.
+
+    The batched counterpart of :class:`SMDWorkRecorder`: attached to a
+    :class:`~repro.md.batch.BatchedSimulation`, it advances the shared pull
+    clock and accumulates every replica's external work with the identical
+    scalar midpoint-in-lambda update, keeping per-replica state as Python
+    floats so the arithmetic matches the single-replica recorder bit for
+    bit.
+    """
+
+    def __init__(self, smd_force: BatchedSMDPullingForce,
+                 record_stride: int = 1) -> None:
+        if record_stride <= 0:
+            raise ConfigurationError("record_stride must be positive")
+        self.smd = smd_force
+        self.record_stride = int(record_stride)
+        n = smd_force.n_replicas
+        self.work: List[float] = [0.0] * n
+        self._last_lambda: List[float] = [
+            p.trap_position(smd_force._time_ns) for p in smd_force.protocols
+        ]
+        self._t0: Optional[float] = None
+        self.times: List[float] = []
+        self.works: List[List[float]] = []
+        self.displacements: List[List[float]] = []
+        self.coordinates: List[List[float]] = []
+        self._call_count = 0
+
+    def __call__(self, simulation) -> None:
+        if self._t0 is None:
+            self._t0 = simulation.time - simulation.integrator.dt
+        t_pull = simulation.time - self._t0
+        positions = simulation.batch.positions
+        lam_new = [0.0] * self.smd.n_replicas
+        q = [0.0] * self.smd.n_replicas
+        for r, proto in enumerate(self.smd.protocols):
+            lam_new[r] = proto.trap_position(t_pull)
+            q[r] = self.smd.coordinate(positions[r])
+            dlam = lam_new[r] - self._last_lambda[r]
+            if dlam != 0.0:
+                self.work[r] += self.smd.kappa * dlam * (
+                    0.5 * (self._last_lambda[r] + lam_new[r]) - q[r]
+                )
+            self._last_lambda[r] = lam_new[r]
+        self.smd.set_time(t_pull)
+        self._call_count += 1
+        if self._call_count % self.record_stride == 0:
+            self.times.append(t_pull)
+            self.works.append(list(self.work))
+            self.displacements.append([
+                lam_new[r] - proto.start_z
+                for r, proto in enumerate(self.smd.protocols)
+            ])
+            self.coordinates.append(list(q))
+
+    def arrays(self) -> dict:
+        """Recorded series as NumPy arrays (replica-major 2-D series)."""
+        return {
+            "times": np.asarray(self.times, dtype=np.float64),
+            "works": np.asarray(self.works, dtype=np.float64).T,
+            "displacements": np.asarray(self.displacements, dtype=np.float64).T,
+            "coordinates": np.asarray(self.coordinates, dtype=np.float64).T,
         }

@@ -189,14 +189,15 @@ class TestFrontDoor:
 class TestObsThreading:
     def test_seeded_run_entry_point_without_obs_flagged(self):
         src = """\
-        def run_sweep(model, n_samples, seed=None):
+        def run_sweep(model, n_samples, seed=None, kernel="vectorized"):
             return n_samples
         """
         assert rule_ids("src/repro/smd/foo.py", src) == ["SPICE103"]
 
     def test_obs_parameter_satisfies_the_rule(self):
         src = """\
-        def run_sweep(model, n_samples, seed=None, obs=None):
+        def run_sweep(model, n_samples, seed=None, kernel="vectorized",
+                      obs=None):
             return n_samples
         """
         assert rule_ids("src/repro/smd/foo.py", src) == []
@@ -273,6 +274,85 @@ class TestMagicConstant:
     def test_out_of_scope_package_not_flagged(self):
         src = "KC = 332.0637\n"
         assert rule_ids("src/repro/grid/foo.py", src) == []
+
+
+class TestBatchedKernelContract:
+    def test_seeded_run_entry_point_without_kernel_flagged(self):
+        src = """\
+        def run_sweep(model, n_samples, seed=None, obs=None):
+            return n_samples
+        """
+        assert rule_ids("src/repro/smd/foo.py", src) == ["SPICE105"]
+
+    def test_base_seed_spelling_also_flagged(self):
+        src = """\
+        def run_sweep(model, *, base_seed=None, obs=None):
+            return model
+        """
+        assert rule_ids("src/repro/perf/foo.py", src) == ["SPICE105"]
+
+    def test_kernel_parameter_satisfies_the_rule(self):
+        src = """\
+        def run_sweep(model, n_samples, seed=None, kernel="vectorized",
+                      obs=None):
+            return n_samples
+        """
+        assert rule_ids("src/repro/smd/foo.py", src) == []
+
+    def test_unseeded_and_private_functions_ignored(self):
+        src = """\
+        def run_render(report):
+            return report
+
+        def _run_shard(payload, seed=None):
+            return payload
+        """
+        assert rule_ids("src/repro/smd/foo.py", src) == []
+
+    def test_stream_minting_in_batched_module_flagged(self):
+        src = """\
+        import numpy as np
+
+        def pull(groups):
+            rng = np.random.default_rng(0)
+            return rng.standard_normal(4)
+        """
+        assert rule_ids("src/repro/smd/batched.py", src) == ["SPICE105"]
+
+    def test_as_generator_in_batched_module_flagged(self):
+        src = """\
+        from repro.rng import as_generator
+
+        def pull(seed):
+            return as_generator(seed)
+        """
+        assert rule_ids("src/repro/md/batch.py", src) == ["SPICE105"]
+
+    def test_stream_for_is_the_allowed_derivation(self):
+        src = """\
+        from repro.rng import stream_for
+
+        def pull(base_seed, shard):
+            return stream_for(base_seed, "smd.shard", shard)
+        """
+        assert rule_ids("src/repro/smd/batched.py", src) == []
+
+    def test_minting_outside_batched_modules_allowed(self):
+        src = """\
+        from repro.rng import as_generator
+
+        def helper(seed):
+            return as_generator(seed)
+        """
+        assert rule_ids("src/repro/smd/ensemble.py", src) == []
+
+    def test_tests_and_examples_exempt(self):
+        src = """\
+        def run_sweep(model, seed=None):
+            return model
+        """
+        assert rule_ids("tests/test_batch.py", src) == []
+        assert rule_ids("examples/batch_demo.py", src) == []
 
 
 class TestNoqaSuppression:

@@ -44,7 +44,7 @@ def kernels_doc():
 
 
 def ensemble_doc():
-    """A minimal valid ensemble document."""
+    """A minimal valid ensemble document (schema v2)."""
     return {
         "schema": SCHEMA_ENSEMBLE,
         "quick": True,
@@ -55,6 +55,12 @@ def ensemble_doc():
         "parallel_wall_s": 0.6,
         "speedup": 1.6,
         "samples_per_s_parallel": 13.0,
+        "batched": {
+            "n_replicas": 16,
+            "per_trajectory_wall_s": 4.0,
+            "batched_wall_s": 0.5,
+        },
+        "batched_speedup": 8.0,
         "deterministic": True,
         "metrics": {},
     }
@@ -97,6 +103,30 @@ class TestValidation:
         doc = ensemble_doc()
         doc["deterministic"] = False
         with pytest.raises(AnalysisError, match="deterministic"):
+            validate_bench_document(doc)
+
+    def test_v1_ensemble_schema_rejected(self):
+        doc = ensemble_doc()
+        doc["schema"] = "repro.bench.ensemble/v1"
+        with pytest.raises(AnalysisError, match="unknown schema"):
+            validate_bench_document(doc)
+
+    def test_missing_batched_section_rejected(self):
+        doc = ensemble_doc()
+        del doc["batched"]
+        with pytest.raises(AnalysisError, match="batched"):
+            validate_bench_document(doc)
+
+    def test_nonpositive_batched_speedup_rejected(self):
+        doc = ensemble_doc()
+        doc["batched_speedup"] = 0.0
+        with pytest.raises(AnalysisError, match="batched_speedup"):
+            validate_bench_document(doc)
+
+    def test_batched_section_needs_walls(self):
+        doc = ensemble_doc()
+        del doc["batched"]["batched_wall_s"]
+        with pytest.raises(AnalysisError, match="batched_wall_s"):
             validate_bench_document(doc)
 
     def test_write_refuses_malformed(self, tmp_path):
@@ -148,3 +178,10 @@ class TestCliBench:
         ensemble = load_bench_document(str(tmp_path / "BENCH_ensemble.json"))
         assert ensemble["deterministic"] is True
         assert ensemble["n_workers"] >= 2
+        assert ensemble["schema"] == "repro.bench.ensemble/v2"
+        assert ensemble["batched"]["n_replicas"] >= 16
+        # Full-size acceptance floor is 5x; quick scale measures ~8x, so
+        # >2x keeps the smoke robust on loaded CI while still catching a
+        # collapse of the batched win.
+        assert ensemble["batched_speedup"] > 2.0
+        assert "batched ensemble" in out
