@@ -172,7 +172,7 @@ def _campaign_store(args, obs):
     recomputation.
     """
     from .errors import ConfigurationError
-    from .store import ResultStore
+    from .store import ResultStore, ShardedResultStore
 
     store_dir = getattr(args, "store", None)
     resume = getattr(args, "resume", False)
@@ -180,13 +180,28 @@ def _campaign_store(args, obs):
         raise ConfigurationError("--resume requires --store DIR")
     if not store_dir:
         return None
-    store = ResultStore(store_dir, obs=obs)
+    cls = ShardedResultStore if getattr(args, "sharded", False) else ResultStore
+    store = cls(store_dir, obs=obs)
     if len(store) and not resume:
         raise ConfigurationError(
             f"store at {store_dir!r} already holds {len(store)} record(s); "
             "pass --resume to resume from them, or point --store at a "
             "fresh directory")
     return store
+
+
+def _campaign_dlq(args, store, obs):
+    """Resolve ``--dlq`` to a DeadLetterQueue next to the store."""
+    from .errors import ConfigurationError
+    from .resil import DeadLetterQueue
+
+    if not getattr(args, "dlq", False):
+        return None
+    if store is None:
+        raise ConfigurationError("--dlq requires --store DIR")
+    import os
+
+    return DeadLetterQueue(os.path.join(store.root, "DLQ.jsonl"), obs=obs)
 
 
 def _run_instrumented_campaign(args):
@@ -204,9 +219,18 @@ def _run_instrumented_campaign(args):
 
     obs = Obs()
     store = _campaign_store(args, obs)
+    dlq = _campaign_dlq(args, store, obs)
+    retry = None
+    if dlq is not None:
+        from .resil import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=3, base_delay=1e-6)
     result = SpiceCampaign(replicas_per_cell=args.replicas,
-                           seed=args.seed, obs=obs, store=store).run()
-    report = campaign_run_report(result, obs, store=store,
+                           seed=args.seed, obs=obs, store=store,
+                           dlq=dlq, retry=retry,
+                           streaming_window=getattr(args, "window", None)
+                           ).run()
+    report = campaign_run_report(result, obs, store=store, dlq=dlq,
                                  command=args.command, seed=args.seed)
     return result, report
 
@@ -223,6 +247,12 @@ def cmd_campaign(args) -> CommandResult:
         f"optimal:       kappa = {s['optimal_kappa_pn']:g} pN/A, "
         f"v = {s['optimal_velocity']:g} A/ns",
     ]
+    dlq = report.get("dlq")
+    if dlq is not None:
+        reasons = ", ".join(f"{r}={n}"
+                            for r, n in sorted(dlq["reasons"].items()))
+        lines.append(f"dead letters:  {dlq['depth']}"
+                     + (f" ({reasons})" if reasons else ""))
     return CommandResult("\n".join(lines), report)
 
 
@@ -338,6 +368,7 @@ def cmd_bench(args) -> CommandResult:
     from .perf import (
         run_ensemble_benchmark,
         run_kernel_benchmark,
+        run_store_benchmark,
         write_bench_document,
     )
 
@@ -345,12 +376,16 @@ def cmd_bench(args) -> CommandResult:
                                    obs=Obs())
     ensemble = run_ensemble_benchmark(quick=args.quick, seed=args.seed,
                                       n_workers=args.workers, obs=Obs())
+    store = run_store_benchmark(quick=args.quick, seed=args.seed,
+                                obs=Obs(), n_tasks=args.store_tasks)
     kernels_path = os.path.join(args.out_dir, "BENCH_kernels.json")
     ensemble_path = os.path.join(args.out_dir, "BENCH_ensemble.json")
+    store_path = os.path.join(args.out_dir, "BENCH_store.json")
     # write_bench_document validates first: malformed output is exit code 1,
     # not a silently-written file.
     write_bench_document(kernels_path, kernels)
     write_bench_document(ensemble_path, ensemble)
+    write_bench_document(store_path, store)
 
     sr = kernels["step_rate"]
     nr = kernels["neighbor_rebuild"]
@@ -374,7 +409,17 @@ def cmd_bench(args) -> CommandResult:
         f"  batched     {ensemble['batched']['batched_wall_s']:10.2f} s"
         f"   ({ensemble['batched_speedup']:.2f}x, deterministic: "
         f"{ensemble['deterministic']})",
-        f"wrote {kernels_path} and {ensemble_path}",
+        f"store streaming ({store['workload']['n_tasks']} tasks, "
+        f"window {store['workload']['window']}):",
+        f"  cold        {store['cold']['wall_s']:10.2f} s"
+        f"   ({store['cold']['tasks_per_s']:.0f} tasks/s)",
+        f"  resume      {store['resume']['wall_s']:10.2f} s"
+        f"   (warm {store['resume']['warm_wall_s']:.2f} s, "
+        f"prefix skip {store['resume']['warm_skipped_prefix']})",
+        f"  dlq depth   {store['dlq']['depth']:>10}   "
+        f"steals {store['stealing']['steals']}   "
+        f"deterministic: {store['deterministic']}",
+        f"wrote {kernels_path}, {ensemble_path} and {store_path}",
     ]
     return CommandResult("\n".join(lines), {
         "command": "bench",
@@ -382,6 +427,7 @@ def cmd_bench(args) -> CommandResult:
         "quick": args.quick,
         "kernels": kernels,
         "ensemble": ensemble,
+        "store": store,
     })
 
 
@@ -442,6 +488,18 @@ COMMANDS: Dict[str, CommandSpec] = {
                      help="resume from existing records in --store DIR "
                           "(recomputes only missing tasks, bit-identical "
                           "result)"),
+                _arg("--sharded", action="store_true",
+                     help="sharded store layout: per-shard index files, "
+                          "crash-consistent appends, O(changed shards) "
+                          "resume"),
+                _arg("--dlq", action="store_true",
+                     help="attach a durable dead-letter queue "
+                          "(<store>/DLQ.jsonl): permanently-failing tasks "
+                          "are recorded and the campaign completes "
+                          "degraded instead of raising"),
+                _arg("--window", type=int, default=None, metavar="N",
+                     help="stream the study lazily with N task "
+                          "descriptors in flight (requires --store)"),
             ),
         ),
         CommandSpec(
@@ -454,6 +512,14 @@ COMMANDS: Dict[str, CommandSpec] = {
                           "(cell, replica) task under DIR"),
                 _arg("--resume", action="store_true",
                      help="resume from existing records in --store DIR"),
+                _arg("--sharded", action="store_true",
+                     help="sharded store layout (see campaign --sharded)"),
+                _arg("--dlq", action="store_true",
+                     help="attach a durable dead-letter queue (see "
+                          "campaign --dlq)"),
+                _arg("--window", type=int, default=None, metavar="N",
+                     help="stream the study lazily with N task "
+                          "descriptors in flight (requires --store)"),
             ),
         ),
         CommandSpec(
@@ -490,6 +556,9 @@ COMMANDS: Dict[str, CommandSpec] = {
                 _arg("--workers", type=int, default=None,
                      help="ensemble worker count "
                           "(default: min(4, cpu_count))"),
+                _arg("--store-tasks", type=int, default=None,
+                     help="streamed-task count for the store benchmark "
+                          "(default: 2000 quick / 10000 full)"),
             ),
         ),
         CommandSpec(
@@ -519,7 +588,7 @@ COMMANDS: Dict[str, CommandSpec] = {
                 # so the CLI table stays import-light).
                 _arg("--scenario", default="breach-partition",
                      choices=("baseline", "breach", "breach-partition",
-                              "cascade"),
+                              "cascade", "permafail"),
                      help="named fault scenario"),
                 _arg("--jobs", type=int, default=72,
                      help="campaign size (paper batch: 72)"),

@@ -12,7 +12,7 @@ equal accuracy (the slowest *adequate* velocity at the tradeoff kappa).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class ParameterStudyResult:
 
 def run_parameter_study(
     model: ReducedTranslocationModel,
-    protocols: Optional[Sequence[PullingProtocol]] = None,
+    protocols: Optional[Iterable[PullingProtocol]] = None,
     n_samples: int = 32,
     n_records: int = 41,
     n_bootstrap: int = 100,
@@ -76,6 +76,9 @@ def run_parameter_study(
     store=None,
     samples_per_task: Optional[int] = None,
     kernel: str = "vectorized",
+    window: Optional[int] = None,
+    dlq=None,
+    retry=None,
 ) -> ParameterStudyResult:
     """Run the full (kappa, v) grid study on the reduced model.
 
@@ -101,21 +104,24 @@ def run_parameter_study(
     with ``samples_per_task`` set, each grid cell's tasks run as one
     stacked engine call.  All kernels are bit-identical and share store
     fingerprints.
+
+    ``window`` switches to the lazy streaming executor
+    (:func:`~repro.workflow.streaming.run_streamed_tasks`): ``protocols``
+    may then be any iterable — including a generator, consumed one cell at
+    a time with at most ``window`` task descriptors in flight — and a
+    resumed study skips its completed prefix via the store's durable
+    cursor without re-fingerprinting it.  Requires ``store`` and
+    ``samples_per_task``; ``dlq`` / ``retry`` enable degraded completion
+    (cells with dead-lettered tasks are omitted from the result).
+    Fault-free output is bit-identical to the materialized path.
     """
     if protocols is None:
         protocols = parameter_grid()
-    if not protocols:
-        raise ConfigurationError("no protocols to study")
-    grids = {(p.distance, p.start_z) for p in protocols}
-    if len(grids) != 1:
-        raise ConfigurationError("all protocols must share distance and start")
     if samples_per_task is not None and (
             samples_per_task < 1 or n_samples % samples_per_task):
         raise ConfigurationError(
             f"samples_per_task ({samples_per_task}) must divide "
             f"n_samples ({n_samples}) evenly")
-
-    reference_velocity = min(p.velocity for p in protocols)
 
     ensembles: Dict[Tuple[float, float], WorkEnsemble] = {}
     estimates: Dict[Tuple[float, float], PMFEstimate] = {}
@@ -123,11 +129,36 @@ def run_parameter_study(
     ref_disp: Optional[np.ndarray] = None
     ref_pmf: Optional[np.ndarray] = None
 
-    for proto in protocols:
+    if window is not None:
+        seen, ensembles = _run_streamed_cells(
+            model, protocols, n_samples=n_samples,
+            samples_per_task=samples_per_task, n_records=n_records,
+            seed=seed, store=store, window=window, dlq=dlq, retry=retry,
+            kernel=kernel, obs=obs,
+        )
+        if not seen:
+            raise ConfigurationError("no protocols to study")
+        reference_velocity = min(p.velocity for p in seen.values())
+        stream_protocols = [seen[key] for key in seen if key in ensembles]
+    else:
+        protocols = list(protocols)
+        if not protocols:
+            raise ConfigurationError("no protocols to study")
+        grids = {(p.distance, p.start_z) for p in protocols}
+        if len(grids) != 1:
+            raise ConfigurationError(
+                "all protocols must share distance and start")
+        reference_velocity = min(p.velocity for p in protocols)
+        stream_protocols = None
+
+    for proto in (protocols if stream_protocols is None
+                  else stream_protocols):
         key = (proto.kappa_pn, proto.velocity)
         cell_labels = ("cell", int(proto.kappa_pn * 1000),
                        int(proto.velocity * 1000))
-        if samples_per_task is not None:
+        if stream_protocols is not None:
+            ens = ensembles[key]
+        elif samples_per_task is not None:
             ens = run_work_ensemble(
                 model, proto, n_samples // samples_per_task,
                 samples_per_task, seed=seed, labels=cell_labels,
@@ -153,7 +184,9 @@ def run_parameter_study(
             seed=stream_for(seed, "boot", int(proto.kappa_pn * 1000), int(proto.velocity * 1000)),
         )
 
-    assert ref_disp is not None and ref_pmf is not None
+    if ref_disp is None or ref_pmf is None:
+        raise AnalysisError(
+            "no study cell completed: every task was dead-lettered")
     optimal = select_optimal(budgets, estimates, tolerance=consistency_tolerance)
     return ParameterStudyResult(
         ensembles=ensembles,
@@ -163,6 +196,64 @@ def run_parameter_study(
         reference_pmf=ref_pmf - ref_pmf[0],
         optimal=optimal,
     )
+
+
+def _run_streamed_cells(
+    model: ReducedTranslocationModel,
+    protocols: Iterable[PullingProtocol],
+    *,
+    n_samples: int,
+    samples_per_task: Optional[int],
+    n_records: int,
+    seed: int,
+    store,
+    window: int,
+    dlq,
+    retry,
+    kernel: str,
+    obs: Optional[Obs],
+) -> Tuple[Dict[Tuple[float, float], PullingProtocol],
+           Dict[Tuple[float, float], WorkEnsemble]]:
+    """Drain the study through the lazy streaming executor.
+
+    Returns ``(seen, ensembles)``: every protocol that streamed past
+    (keyed by ``(kappa, v)``, insertion-ordered) and the merged ensemble
+    for each cell whose tasks all resolved.  Cells with dead-lettered
+    tasks appear in ``seen`` but not in ``ensembles`` — the degraded-
+    completion contract.
+    """
+    from ..workflow.streaming import run_streamed_study
+
+    if store is None or samples_per_task is None:
+        raise ConfigurationError(
+            "streamed studies (window=...) require store and "
+            "samples_per_task")
+    seen: Dict[Tuple[float, float], PullingProtocol] = {}
+    shape: list[Tuple[float, float]] = []
+
+    def checked() -> Iterator[PullingProtocol]:
+        for proto in protocols:
+            if not shape:
+                shape.append((proto.distance, proto.start_z))
+            elif (proto.distance, proto.start_z) != shape[0]:
+                raise ConfigurationError(
+                    "all protocols must share distance and start")
+            seen[(proto.kappa_pn, proto.velocity)] = proto
+            yield proto
+
+    merged, _report = run_streamed_study(
+        model, checked(), n_samples=n_samples,
+        samples_per_task=samples_per_task, seed=seed, store=store,
+        window=window, dlq=dlq, retry=retry, n_records=n_records,
+        kernel=kernel, obs=obs,
+    )
+    ensembles: Dict[Tuple[float, float], WorkEnsemble] = {}
+    for key, proto in seen.items():
+        labels = ("cell", int(proto.kappa_pn * 1000),
+                  int(proto.velocity * 1000))
+        if labels in merged:
+            ensembles[key] = merged[labels]
+    return seen, ensembles
 
 
 def select_optimal(

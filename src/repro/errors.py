@@ -123,6 +123,14 @@ class CampaignInterrupted(ReproError):
     same campaign against the same store resumes from them."""
 
 
+class PermanentTaskFailure(ReproError):
+    """A task failed in a way no retry can fix (the chaos harness's
+    ``permafail`` fault, or a compute function that deems its own input
+    unrunnable).  The streaming runner and campaign manager do not burn
+    the retry budget on it: the task goes straight to the dead-letter
+    queue and the campaign completes degraded."""
+
+
 class LintError(ReproError):
     """Static-analysis failure that is not a lint *finding*: an unknown
     rule id or selector, an unreadable lint path, a malformed baseline

@@ -91,10 +91,19 @@ class CampaignReport:
     requeues: int
     #: Jobs satisfied from the result store without scheduling (resume).
     short_circuited: List[Job] = field(default_factory=list)
+    #: Jobs moved to the dead-letter queue (terminal, campaign degraded).
+    dead_lettered: List[Job] = field(default_factory=list)
+    #: Jobs moved between sites by the work stealer.
+    steals: int = 0
 
     @property
     def all_completed(self) -> bool:
         return not self.unplaced and bool(self.completed or self.short_circuited)
+
+    @property
+    def degraded(self) -> bool:
+        """Completed, but with dead-lettered jobs left behind."""
+        return bool(self.dead_lettered) and not self.unplaced
 
     @property
     def mean_wait_hours(self) -> float:
@@ -126,17 +135,30 @@ class CampaignManager:
     """
 
     def __init__(self, federation: FederatedGrid, requeue_check_hours: float = 1.0,
-                 obs: Optional[Obs] = None, resil=None) -> None:
+                 obs: Optional[Obs] = None, resil=None, stealing=None,
+                 dlq=None) -> None:
         if requeue_check_hours <= 0:
             raise ConfigurationError("requeue_check_hours must be positive")
         self.federation = federation
         self.loop = federation.loop
         self.requeue_check_hours = float(requeue_check_hours)
         self.unplaced: List[Job] = []
+        self.dead_lettered: List[Job] = []
         self._jobs: List[Job] = []
         self._short_circuited: List[Job] = []
         self._obs = as_obs(obs)
         self._resil = resil
+        #: Optional :class:`repro.grid.stealing.WorkStealer` (opt-in; the
+        #: default static-placement path never constructs one).
+        self._stealer = stealing
+        #: Optional :class:`repro.resil.DeadLetterQueue`: placement-retry
+        #: exhaustion becomes a durable DLQ entry + degraded completion
+        #: instead of a terminal ``unplaced``.
+        self._dlq = dlq
+        self._job_fingerprints: Dict[str, str] = {}
+        #: With a DLQ: a job killed+requeued this many times is declared a
+        #: poison pill and dead-lettered instead of requeued again.
+        self.dead_letter_requeues = 8
         #: (retry_at_hours, job) — placements waiting on backoff.
         self._deferred: List[Tuple[float, Job]] = []
         self._place_attempts: Dict[int, int] = {}
@@ -250,9 +272,37 @@ class CampaignManager:
         return best
 
     def _mark_unplaced(self, job: Job) -> None:
+        if self._dlq is not None:
+            self._dead_letter(job)
+            return
         self.unplaced.append(job)
         if self._obs.enabled:
             self._obs.metrics.inc("grid.unplaced")
+
+    def _dead_letter(self, job: Job, reason: Optional[str] = None,
+                     last_error: Optional[str] = None) -> None:
+        """Terminal, durable: record the job in the DLQ; campaign degrades
+        instead of blocking or silently dropping it."""
+        attempts = self._place_attempts.pop(job.job_id, 0)
+        if reason is None:
+            structural = bool(self._structural_candidates(job))
+            reason = "unplaceable" if not structural or self._resil is None \
+                else "retry-exhausted"
+            last_error = (
+                "no structural candidate in federation" if not structural
+                else "placement retries exhausted: every eligible queue "
+                     "dead, tripped or partitioned")
+        self._dlq.record(
+            task_key=(job.name,),
+            fingerprint=self._job_fingerprints.get(job.name),
+            reason=reason,
+            attempts=max(attempts, job.requeues),
+            last_error=last_error or reason,
+            site_history=job.site_history,
+        )
+        self.dead_lettered.append(job)
+        if self._obs.enabled:
+            self._obs.metrics.inc("grid.dead_lettered")
 
     def _defer(self, job: Job) -> None:
         resil = self._resil
@@ -262,8 +312,8 @@ class CampaignManager:
         budget = resil.placement_budget
         if policy.exhausted(attempts) or (
                 budget is not None and not budget.try_consume()):
-            self._place_attempts.pop(job.job_id, None)
             self._mark_unplaced(job)
+            self._place_attempts.pop(job.job_id, None)
             if self._obs.enabled:
                 self._obs.metrics.inc("resil.retry.exhausted.grid.placement")
                 self._obs.metrics.observe(
@@ -278,7 +328,8 @@ class CampaignManager:
     # -- execution --------------------------------------------------------------
 
     def run(self, jobs: Sequence[Job], until: Optional[float] = None,
-            completed: Optional[Iterable[str]] = None) -> CampaignReport:
+            completed: Optional[Iterable[str]] = None,
+            job_fingerprints: Optional[Dict[str, str]] = None) -> CampaignReport:
         """Place all jobs, run the loop to completion, return the report.
 
         ``completed`` names jobs whose results already exist (a resumed
@@ -286,7 +337,11 @@ class CampaignManager:
         ever entering a queue, counted under ``grid.shortcircuited`` and
         reported in :attr:`CampaignReport.short_circuited` — they consume
         no grid capacity and contribute no CPU-hours this run.
+
+        ``job_fingerprints`` (job name → store fingerprint) lets
+        dead-letter entries carry the task's store identity.
         """
+        self._job_fingerprints = dict(job_fingerprints or {})
         done_names = set(completed) if completed is not None else set()
         self._short_circuited = [j for j in jobs if j.name in done_names]
         for job in self._short_circuited:
@@ -303,6 +358,8 @@ class CampaignManager:
             for job in self._jobs:
                 self.place(job)
             self._schedule_requeue_check()
+            if self._stealer is not None:
+                self._stealer.attach(self)
             self.loop.run(until=until)
         return self._report()
 
@@ -333,7 +390,17 @@ class CampaignManager:
                     job.reset_for_requeue()
                     if resil is not None and resil.breakers is not None:
                         resil.breakers.record_failure(q.resource.name)
-                    self.place(job)
+                    # A job the grid keeps killing (every site it lands on
+                    # trips) is a poison pill: with a DLQ attached it gets
+                    # a terminal entry instead of cycling forever.
+                    if (self._dlq is not None
+                            and job.requeues >= self.dead_letter_requeues):
+                        self._dead_letter(
+                            job, reason="breaker-rejected",
+                            last_error=f"killed and requeued "
+                                       f"{job.requeues} times; giving up")
+                    else:
+                        self.place(job)
                     requeued_any = True
                     if self._obs.enabled:
                         self._obs.metrics.inc("grid.requeues")
@@ -408,4 +475,6 @@ class CampaignManager:
             per_resource_utilization=util,
             requeues=sum(j.requeues for j in self._jobs),
             short_circuited=list(self._short_circuited),
+            dead_lettered=list(self.dead_lettered),
+            steals=0 if self._stealer is None else self._stealer.steals,
         )

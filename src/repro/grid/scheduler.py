@@ -133,6 +133,7 @@ class BatchQueue:
         job.state = JobState.QUEUED
         job.resource = self.resource.name
         job.submit_time = self.loop.now
+        job.site_history.append(self.resource.name)
         self.waiting.append(job)
         if self._obs.enabled:
             self._obs.metrics.inc(f"grid.submitted.{self.resource.name}")
@@ -143,6 +144,7 @@ class BatchQueue:
         job.state = JobState.QUEUED
         job.resource = self.resource.name
         job.submit_time = self.loop.now
+        job.site_history.append(self.resource.name)
 
         def start_at_window() -> None:
             if self.down:

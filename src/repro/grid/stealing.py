@@ -1,0 +1,232 @@
+"""Deterministic work stealing between federation sites.
+
+Static placement (PR 2's least-loaded heuristic) decides a job's home once,
+at submit time.  Under asymmetric faults that is exactly wrong: a site that
+goes down — or trips its circuit breaker — keeps a backlog of queued jobs
+hostage while healthy sites idle.  The :class:`WorkStealer` runs a periodic
+pass on the shared event loop: *thieves* (idle, healthy sites) pull jobs
+from the tail of *victims'* waiting queues (overloaded, confirmed-down, or
+OPEN-breaker sites) and resubmit them locally.
+
+Determinism: the pass runs at fixed event-loop times; thieves are visited
+in resource-name order; victims are ranked by ``(backlog score, name)`` and
+ties are broken by a generator derived from
+``stream_for(seed, "grid", "steal")`` — so two same-seed campaigns steal
+identical jobs at identical times.  Work stealing is strictly opt-in
+(``CampaignManager(stealing=...)``): the fault-free default path never
+constructs a stealer and stays bit-identical to the oracle.
+
+The stealing layer never walks store directories and holds no state of its
+own beyond counters; moving a job is ``victim.waiting.remove`` +
+``job.reset_for_steal()`` + ``thief.submit``, reusing the scheduler's
+ordinary admission path (capacity checks, dispatch, utilization traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
+from ..rng import stream_for
+from .jobs import Job
+from .scheduler import BatchQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .federation import CampaignManager
+
+__all__ = ["StealingPolicy", "WorkStealer"]
+
+
+@dataclass(frozen=True)
+class StealingPolicy:
+    """Knobs for the stealing pass.
+
+    check_hours:
+        Period of the stealing pass on the event loop.
+    min_victim_backlog:
+        A healthy site only becomes a victim with at least this many
+        waiting jobs (confirmed-down / OPEN-breaker sites are victims at
+        any backlog — their queue cannot drain at all).
+    max_steals_per_pass:
+        Global cap per pass; keeps one pass from reshuffling the whole
+        federation at once.
+    """
+
+    check_hours: float = 1.0
+    min_victim_backlog: int = 2
+    max_steals_per_pass: int = 4
+
+    def __post_init__(self) -> None:
+        if self.check_hours <= 0:
+            raise ConfigurationError("check_hours must be positive")
+        if self.min_victim_backlog < 1:
+            raise ConfigurationError("min_victim_backlog must be >= 1")
+        if self.max_steals_per_pass < 1:
+            raise ConfigurationError("max_steals_per_pass must be >= 1")
+
+
+class WorkStealer:
+    """Periodic stealing pass over a campaign manager's federation."""
+
+    def __init__(self, *, seed: Any = 2005,
+                 policy: Optional[StealingPolicy] = None,
+                 obs: Optional[Obs] = None) -> None:
+        self.policy = policy or StealingPolicy()
+        self._obs = as_obs(obs)
+        self._rng = stream_for(seed, "grid", "steal")
+        self.steals = 0
+        self.steals_by_thief: Dict[str, int] = {}
+        self.steals_from_victim: Dict[str, int] = {}
+        self._manager: Optional["CampaignManager"] = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, manager: "CampaignManager") -> None:
+        """Bind to a manager and schedule the periodic pass on its loop."""
+        if self._manager is not None:
+            raise ConfigurationError("WorkStealer is already attached")
+        self._manager = manager
+
+        def check() -> None:
+            self.steal_pass()
+            queues = manager.federation.all_queues().values()
+            if any(q.waiting or q.running or q.killed for q in queues) \
+                    or manager._deferred:
+                manager.loop.schedule(self.policy.check_hours, check)
+
+        manager.loop.schedule(self.policy.check_hours, check)
+
+    # -- classification --------------------------------------------------------
+
+    def _queue_down(self, queue: BatchQueue) -> bool:
+        manager = self._manager
+        assert manager is not None
+        if manager._resil is not None:
+            return manager._resil.queue_down(queue)
+        return queue.down
+
+    def _breaker_open(self, queue: BatchQueue) -> bool:
+        manager = self._manager
+        assert manager is not None
+        resil = manager._resil
+        if resil is None:
+            return False
+        return not resil.breaker_allows(queue.resource.name)
+
+    def _is_thief(self, queue: BatchQueue) -> bool:
+        """Idle and healthy: free capacity, nothing waiting, admitting."""
+        return (not queue.waiting
+                and queue.free_procs() > 0
+                and not self._queue_down(queue)
+                and not self._breaker_open(queue))
+
+    def _victim_score(self, queue: BatchQueue) -> float:
+        """How badly this queue needs relief; <= 0 means "not a victim".
+
+        Confirmed-down and OPEN-breaker sites score their entire backlog
+        plus a large constant (their queue cannot drain); healthy sites
+        score backlog beyond the policy threshold.
+        """
+        backlog = len(queue.waiting)
+        if backlog == 0:
+            return 0.0
+        if self._queue_down(queue) or self._breaker_open(queue):
+            return float(backlog) + 1000.0
+        return float(backlog - self.policy.min_victim_backlog + 1)
+
+    def _stealable(self, job: Job, thief: BatchQueue) -> bool:
+        """Would the thief's scheduler admit this job right now?"""
+        if job.procs > thief.capacity or job.procs > thief.free_procs():
+            return False
+        if job.steering_required and not (
+                thief.resource.externally_reachable
+                and thief.resource.lightpath):
+            return False
+        return True
+
+    # -- the pass --------------------------------------------------------------
+
+    def steal_pass(self) -> int:
+        """One stealing round; returns the number of jobs moved."""
+        manager = self._manager
+        if manager is None:
+            raise ConfigurationError("WorkStealer.steal_pass before attach")
+        queues = manager.federation.all_queues()
+        thieves = [queues[name] for name in sorted(queues)
+                   if self._is_thief(queues[name])]
+        moved = 0
+        for thief in thieves:
+            if moved >= self.policy.max_steals_per_pass:
+                break
+            victim = self._pick_victim(queues, thief)
+            if victim is None:
+                continue
+            job = self._pick_job(victim, thief)
+            if job is None:
+                continue
+            victim.waiting.remove(job)
+            job.reset_for_steal()
+            thief.submit(job)
+            moved += 1
+            self.steals += 1
+            tname, vname = thief.resource.name, victim.resource.name
+            self.steals_by_thief[tname] = self.steals_by_thief.get(tname, 0) + 1
+            self.steals_from_victim[vname] = (
+                self.steals_from_victim.get(vname, 0) + 1)
+            if self._obs.enabled:
+                self._obs.metrics.inc("grid.steals")
+                self._obs.metrics.inc(f"grid.stolen_by.{tname}")
+                self._obs.tracer.event(
+                    "grid.steal", clock=getattr(manager.loop, "clock", None),
+                    job=job.name, thief=tname, victim=vname)
+        return moved
+
+    def _pick_victim(self, queues: Dict[str, BatchQueue],
+                     thief: BatchQueue) -> Optional[BatchQueue]:
+        """Highest-scoring victim with at least one job the thief can take.
+
+        Ranked by ``(score, name)``; exact score ties are broken with the
+        seeded stream so no site is systematically favoured by name order.
+        """
+        candidates: List[BatchQueue] = []
+        best_score = 0.0
+        for name in sorted(queues):
+            queue = queues[name]
+            if queue is thief:
+                continue
+            score = self._victim_score(queue)
+            if score <= 0.0:
+                continue
+            if not any(self._stealable(j, thief) for j in queue.waiting):
+                continue
+            if score > best_score + 1e-12:
+                candidates = [queue]
+                best_score = score
+            elif abs(score - best_score) <= 1e-12:
+                candidates.append(queue)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+    def _pick_job(self, victim: BatchQueue,
+                  thief: BatchQueue) -> Optional[Job]:
+        """Steal from the tail: the job that would otherwise wait longest."""
+        for job in reversed(victim.waiting):
+            if self._stealable(job, thief):
+                return job
+        return None
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "steals": self.steals,
+            "by_thief": {k: self.steals_by_thief[k]
+                         for k in sorted(self.steals_by_thief)},
+            "from_victim": {k: self.steals_from_victim[k]
+                            for k in sorted(self.steals_from_victim)},
+        }

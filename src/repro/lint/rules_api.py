@@ -1,4 +1,4 @@
-"""API-boundary rule family (SPICE101-SPICE105).
+"""API-boundary rule family (SPICE101-SPICE106).
 
 PR 1 unified the estimator surface behind ``repro.core`` and its
 ``estimate_free_energy`` front door, and made the ``obs=`` handle the
@@ -20,6 +20,7 @@ __all__ = [
     "FrontDoorRule",
     "ObsThreadingRule",
     "BatchedKernelContractRule",
+    "IndexLayerDisciplineRule",
 ]
 
 #: Raw estimator implementations that examples/tests should reach through
@@ -210,4 +211,50 @@ class BatchedKernelContractRule(Rule):
                     f"batched runner calls '{target}': batched code must "
                     f"consume caller-provided stream_for-derived generators, "
                     f"never mint its own streams",
+                )
+
+
+#: Directory-enumeration calls the sharded-store redesign confines to the
+#: index layer.  ``os.walk`` rides along: it is ``listdir`` in a loop.
+_DIR_ENUMERATION = frozenset({
+    "os.listdir", "os.scandir", "os.walk",
+    "glob.glob", "glob.iglob",
+})
+
+
+@register_rule
+class IndexLayerDisciplineRule(Rule):
+    """Store and stealing modules never enumerate directories directly."""
+
+    id = "SPICE106"
+    name = "directory scan outside the index layer"
+    rationale = (
+        "the sharded store's resume cost is O(changed shards) precisely "
+        "because every directory enumeration goes through "
+        "repro.store.index (which consults per-shard index files and "
+        "mtimes before touching the filesystem); an os.listdir/os.scandir/"
+        "glob call anywhere else under store/ — or in the work-stealing "
+        "scheduler, which must treat queue state, never the filesystem, "
+        "as truth — silently reintroduces the O(records) full-tree walk "
+        "the redesign removed"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.kind != "src":
+            return False
+        if ctx.relpath.endswith("repro/store/index.py"):
+            return False  # the one sanctioned enumeration layer
+        return (ctx.in_package("store")
+                or ctx.relpath.endswith("repro/grid/stealing.py"))
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target in _DIR_ENUMERATION:
+                yield self.violation(
+                    ctx, node,
+                    f"'{target}' enumerates a directory outside the index "
+                    f"layer; route the scan through repro.store.index",
                 )

@@ -113,6 +113,7 @@ def _resil_stats(obs: Obs) -> Dict[str, Any]:
         "breaker_trips": "resil.breaker.trips",
         "retry_attempts": "resil.retry.attempts",
         "retry_exhausted": "resil.retry.exhausted",
+        "dlq": "resil.dlq",
     }
     for key, prefix in families.items():
         values = _family_values(obs, prefix)
@@ -122,7 +123,7 @@ def _resil_stats(obs: Obs) -> Dict[str, Any]:
 
 
 def campaign_run_report(result, obs: Optional[Obs] = None, store=None,
-                        **extra: Any) -> dict:
+                        dlq=None, **extra: Any) -> dict:
     """Build the run report for a completed SPICE campaign.
 
     Parameters
@@ -140,6 +141,12 @@ def campaign_run_report(result, obs: Optional[Obs] = None, store=None,
         purely by the completed work (so they survive
         :func:`canonical_run_report`), while the hit/miss ``traffic``
         counters describe *this* run and are canonically volatile.
+    dlq:
+        Optional :class:`~repro.resil.DeadLetterQueue`.  Contributes a
+        ``dlq`` section: depth, reasons and task keys are determined by
+        the terminal failures (canonical — two same-seed degraded runs
+        agree byte for byte), while the ``redeliveries`` counter is
+        per-run and canonically volatile.
     extra:
         Caller context merged into the document root (command, seed, ...).
     """
@@ -178,6 +185,8 @@ def campaign_run_report(result, obs: Optional[Obs] = None, store=None,
         "requeues": campaign.requeues,
         "jobs": summary.get("n_jobs"),
         "unplaced_jobs": len(campaign.unplaced),
+        "dead_lettered_jobs": len(getattr(campaign, "dead_lettered", ())),
+        "steals": getattr(campaign, "steals", 0),
         "des_events": _counter_value(obs, "des.events"),
     }
 
@@ -197,6 +206,8 @@ def campaign_run_report(result, obs: Optional[Obs] = None, store=None,
             "content_digest": store.content_digest(),
             "traffic": store.stats(),
         }
+    if dlq is not None:
+        report["dlq"] = dlq.summary()
     return report
 
 
@@ -221,6 +232,12 @@ def canonical_run_report(report: dict) -> dict:
             out["cost"].pop(key, None)
     if isinstance(out.get("store"), dict):
         out["store"].pop("traffic", None)
+    if isinstance(out.get("cost"), dict):
+        # Steal counts depend on when the run was interrupted, not on the
+        # completed work; the DLQ contents themselves are canonical.
+        out["cost"].pop("steals", None)
+    if isinstance(out.get("dlq"), dict):
+        out["dlq"].pop("redeliveries", None)
     return out
 
 
@@ -333,4 +350,18 @@ def render_run_report(report: dict) -> str:
         if exhausted:
             lines.append("  retry exhaustion: " + ", ".join(
                 f"{op}={int(n)}" for op, n in exhausted.items()))
+
+    dlq = report.get("dlq")
+    if dlq is not None:
+        lines.append("")
+        lines.append("dead-letter queue:")
+        if dlq.get("depth", 0):
+            reasons = ", ".join(f"{r}={n}" for r, n
+                                in sorted(dlq.get("reasons", {}).items()))
+            lines.append(f"  {dlq['depth']} task(s) dead-lettered"
+                         + (f" ({reasons})" if reasons else ""))
+            for key in dlq.get("task_keys", []):
+                lines.append("  - " + ",".join(str(p) for p in key))
+        else:
+            lines.append("  empty (campaign completed undegraded)")
     return "\n".join(lines)

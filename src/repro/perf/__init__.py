@@ -7,7 +7,10 @@ Two benchmark families, both emitting schema-tagged JSON documents
   neighbor-list rebuild cost, ``reference`` vs ``vectorized`` kernels
   (``BENCH_kernels.json``);
 * :mod:`~repro.perf.bench_ensemble` — parallel work-ensemble executor
-  wall-clock and determinism cross-check (``BENCH_ensemble.json``).
+  wall-clock and determinism cross-check (``BENCH_ensemble.json``);
+* :mod:`~repro.perf.bench_store` — sharded-store streaming throughput,
+  kill/resume latency, DLQ depth and work-steal counts
+  (``BENCH_store.json``).
 
 Run via ``python -m repro bench [--quick]``; see PERFORMANCE.md for the
 performance model and how to reproduce the recorded numbers.
@@ -16,6 +19,7 @@ performance model and how to reproduce the recorded numbers.
 from .harness import (
     SCHEMA_ENSEMBLE,
     SCHEMA_KERNELS,
+    SCHEMA_STORE,
     Timing,
     load_bench_document,
     metrics_snapshot,
@@ -25,10 +29,12 @@ from .harness import (
 )
 from .bench_kernels import build_benchmark_system, run_kernel_benchmark
 from .bench_ensemble import run_ensemble_benchmark
+from .bench_store import run_store_benchmark, synthetic_stream
 
 __all__ = [
     "SCHEMA_KERNELS",
     "SCHEMA_ENSEMBLE",
+    "SCHEMA_STORE",
     "Timing",
     "time_call",
     "metrics_snapshot",
@@ -38,4 +44,6 @@ __all__ = [
     "build_benchmark_system",
     "run_kernel_benchmark",
     "run_ensemble_benchmark",
+    "run_store_benchmark",
+    "synthetic_stream",
 ]

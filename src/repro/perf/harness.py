@@ -35,6 +35,7 @@ from ..obs import Obs, write_json
 __all__ = [
     "SCHEMA_KERNELS",
     "SCHEMA_ENSEMBLE",
+    "SCHEMA_STORE",
     "Timing",
     "time_call",
     "metrics_snapshot",
@@ -45,6 +46,7 @@ __all__ = [
 
 SCHEMA_KERNELS = "repro.bench.kernels/v1"
 SCHEMA_ENSEMBLE = "repro.bench.ensemble/v2"
+SCHEMA_STORE = "repro.bench.store/v1"
 
 
 @dataclass(frozen=True)
@@ -161,6 +163,40 @@ def validate_bench_document(doc: object) -> dict:
                 "malformed BENCH document: ensemble benchmark reports "
                 "deterministic=false — executor legs diverged (serial vs "
                 "parallel, or batched vs per-trajectory)"
+            )
+        _require(doc, "metrics", dict)
+    elif schema == SCHEMA_STORE:
+        _require(doc, "quick", bool)
+        _require(doc, "seed", int)
+        workload = _require(doc, "workload", dict)
+        _require_positive(workload, "n_tasks")
+        _require_positive(workload, "window")
+        cold = _require(doc, "cold", dict)
+        _require_positive(cold, "wall_s")
+        _require_positive(cold, "tasks_per_s")
+        _require_positive(cold, "records")
+        resume = _require(doc, "resume", dict)
+        _require_positive(resume, "wall_s")
+        _require_positive(resume, "tasks_per_s")
+        _require_positive(resume, "warm_wall_s")
+        _require_positive(resume, "warm_skipped_prefix")
+        dlq = _require(doc, "dlq", dict)
+        depth = _require(dlq, "depth", int)
+        expected = _require(dlq, "expected_depth", int)
+        if depth != expected:
+            raise AnalysisError(
+                f"malformed BENCH document: DLQ depth {depth} != expected "
+                f"{expected} — poisoned tasks were lost or double-recorded"
+            )
+        _require(dlq, "reasons", dict)
+        stealing = _require(doc, "stealing", dict)
+        _require_positive(stealing, "steals")
+        deterministic = _require(doc, "deterministic", bool)
+        if not deterministic:
+            raise AnalysisError(
+                "malformed BENCH document: store benchmark reports "
+                "deterministic=false — same-seed runs diverged (content "
+                "digest or DLQ entries)"
             )
         _require(doc, "metrics", dict)
     else:

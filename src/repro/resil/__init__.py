@@ -22,6 +22,7 @@ The chaos module imports the grid/net layers, so it is loaded lazily —
 from .breaker import BreakerBoard, BreakerState, CircuitBreaker
 from .core import GridPartition, Resilience
 from .detector import HeartbeatFailureDetector, SiteHealth
+from .dlq import DLQ_SCHEMA, DeadLetterQueue
 from .policy import (
     DEFAULT_CHANNEL_RETRY,
     DEFAULT_MIDDLEWARE_RETRY,
@@ -47,6 +48,8 @@ __all__ = [
     "BreakerBoard",
     "GridPartition",
     "Resilience",
+    "DLQ_SCHEMA",
+    "DeadLetterQueue",
     # Lazily loaded from .chaos (avoids a grid/net import cycle):
     "ChaosScenario",
     "SiteFault",
@@ -54,6 +57,7 @@ __all__ = [
     "LinkFault",
     "MiddlewareFault",
     "RandomOutages",
+    "PermafailFault",
     "SCENARIOS",
     "run_chaos_scenario",
     "render_chaos_report",
@@ -61,8 +65,8 @@ __all__ = [
 
 _CHAOS_NAMES = {
     "ChaosScenario", "SiteFault", "PartitionFault", "LinkFault",
-    "MiddlewareFault", "RandomOutages", "SCENARIOS", "run_chaos_scenario",
-    "render_chaos_report",
+    "MiddlewareFault", "RandomOutages", "PermafailFault", "SCENARIOS",
+    "run_chaos_scenario", "render_chaos_report",
 }
 
 

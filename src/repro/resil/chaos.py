@@ -43,6 +43,7 @@ __all__ = [
     "LinkFault",
     "MiddlewareFault",
     "RandomOutages",
+    "PermafailFault",
     "ChaosScenario",
     "SCENARIOS",
     "run_chaos_scenario",
@@ -118,6 +119,32 @@ class RandomOutages:
 
 
 @dataclass(frozen=True)
+class PermafailFault:
+    """Stream tasks that fail deterministically at *every* attempt.
+
+    Models the pathology the retry machinery cannot fix: a task whose
+    input is poisoned (bad cell parameters, a reproducible numerical
+    blow-up), so it fails identically at every site, every time.  The
+    scenario runner drives a small streamed study in which the tasks at
+    ``task_indices`` raise on every attempt; after ``max_attempts`` the
+    seeded retry policy is exhausted and each poisoned task lands in the
+    durable dead-letter queue while the rest of the campaign completes
+    degraded.
+    """
+
+    task_indices: Tuple[int, ...]
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.task_indices:
+            raise ConfigurationError("permafail needs at least one task")
+        if any(i < 0 for i in self.task_indices):
+            raise ConfigurationError("permafail task indices must be >= 0")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
 class ChaosScenario:
     """A named, fully declarative bundle of faults."""
 
@@ -128,12 +155,14 @@ class ChaosScenario:
     link_faults: Tuple[LinkFault, ...] = ()
     middleware_faults: Tuple[MiddlewareFault, ...] = ()
     random_outages: Optional[RandomOutages] = None
+    permafail: Optional[PermafailFault] = None
 
     @property
     def fault_count(self) -> int:
         return (len(self.site_faults) + len(self.partitions)
                 + len(self.link_faults) + len(self.middleware_faults)
-                + (1 if self.random_outages else 0))
+                + (1 if self.random_outages else 0)
+                + (1 if self.permafail else 0))
 
 
 #: The named scenarios the CLI exposes.  "breach-partition" is the
@@ -184,6 +213,15 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             MiddlewareFault("NGS-Leeds", "auth", at_hours=9.0,
                             duration_hours=6.0),
         ),
+    ),
+    "permafail": ChaosScenario(
+        name="permafail",
+        description="Two poisoned tasks that fail every attempt at every "
+                    "site.  The streamed study must complete degraded: "
+                    "every other task done, exactly two durable "
+                    "dead-letter entries, and the completed cells "
+                    "bit-identical across same-seed runs.",
+        permafail=PermafailFault(task_indices=(1, 5), max_attempts=3),
     ),
     "cascade": ChaosScenario(
         name="cascade",
@@ -278,6 +316,70 @@ def _probe_middleware(scenario: ChaosScenario, middleware: GridMiddleware,
     return probes
 
 
+def _exercise_permafail(fault: PermafailFault, seed: int,
+                        obs) -> Dict[str, object]:
+    """Drive a small streamed study with poisoned tasks into the DLQ.
+
+    Runs a 4-cell, 8-task study against a throwaway sharded store; the
+    tasks at ``fault.task_indices`` raise :class:`SimulationError` on
+    every attempt, exhaust the seeded retry policy, and land in the
+    dead-letter queue while every other task completes.  Returns a
+    report with no paths or timestamps, so it is bit-identical per seed.
+    """
+    import tempfile
+
+    from ..errors import SimulationError
+    from ..pore.reduced import ReducedTranslocationModel, \
+        default_reduced_potential
+    from ..smd.protocol import PullingProtocol
+    from ..store import ShardedResultStore
+    from ..workflow.streaming import StreamTask, run_streamed_study
+    from .dlq import DeadLetterQueue
+
+    model = ReducedTranslocationModel(default_reduced_potential())
+    protocols = [
+        PullingProtocol(kappa_pn=kappa, velocity=velocity, distance=2.0,
+                        equilibration_ns=0.0)
+        for kappa in (100.0, 1000.0)
+        for velocity in (25.0, 50.0)
+    ]
+    poisoned = frozenset(fault.task_indices)
+
+    def poison(spec: StreamTask, attempt: int) -> None:
+        if spec.index in poisoned:
+            raise SimulationError(
+                f"permafail: task {spec.index} is poisoned at every site")
+
+    retry = RetryPolicy(max_attempts=fault.max_attempts, base_delay=1e-6)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        store = ShardedResultStore(f"{tmp}/store", obs=obs, sync=False)
+        dlq = DeadLetterQueue(f"{tmp}/DLQ.jsonl", obs=obs, sync=False)
+        ensembles, report = run_streamed_study(
+            model, protocols, n_samples=4, samples_per_task=2,
+            seed=stream_for(seed, "resil", "chaos", "permafail"),
+            store=store, window=4, dlq=dlq, retry=retry, fault=poison,
+            n_records=11, obs=obs,
+        )
+        summary = dlq.summary()
+        entries = [
+            {"task_key": entry["task_key"], "reason": entry["reason"],
+             "attempts": entry["attempts"],
+             "last_error": entry["last_error"]}
+            for entry in dlq.entries()
+        ]
+    return {
+        "tasks": report.total,
+        "computed": report.computed,
+        "retries": report.retries,
+        "dead_lettered": report.dead_lettered,
+        "completed_cells": sorted(list(cell) for cell in ensembles),
+        "degraded": report.degraded,
+        "depth": summary["depth"],
+        "reasons": summary["reasons"],
+        "entries": entries,
+    }
+
+
 def run_chaos_scenario(scenario: ChaosScenario, seed: int = 2005,
                        n_jobs: int = 72,
                        obs: Optional[Obs] = None) -> Dict[str, object]:
@@ -320,6 +422,8 @@ def run_chaos_scenario(scenario: ChaosScenario, seed: int = 2005,
     network = _exercise_steering_link(scenario, seed, obs, injector)
     middleware = GridMiddleware()
     probes = _probe_middleware(scenario, middleware, obs)
+    dlq_report = (None if scenario.permafail is None
+                  else _exercise_permafail(scenario.permafail, seed, obs))
 
     manager = CampaignManager(federation, obs=obs, resil=resil)
     jobs = spice_batch_jobs(n_jobs=n_jobs, ns_per_job=0.35)
@@ -364,6 +468,7 @@ def run_chaos_scenario(scenario: ChaosScenario, seed: int = 2005,
         },
         "network": network,
         "middleware": probes,
+        "dlq": dlq_report,
     }
 
 
@@ -409,4 +514,15 @@ def render_chaos_report(result: Dict[str, object]) -> str:
             f"middleware     : {probe['kind']}@{probe['site']} "
             f"({probe['phase']}) -> {probe['result']} "
             f"after {probe['attempts']} attempt(s)")
+    dlq = result.get("dlq")
+    if dlq:
+        lines.append(
+            f"dead letters   : {dlq['depth']} of {dlq['tasks']} streamed "
+            f"tasks ({dlq['computed']} computed, {dlq['retries']} retries, "
+            f"{len(dlq['completed_cells'])} cells completed)")
+        for entry in dlq["entries"]:
+            key = ",".join(str(part) for part in entry["task_key"][1:])
+            lines.append(
+                f"  - [{key}] {entry['reason']} after "
+                f"{entry['attempts']} attempts: {entry['last_error']}")
     return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Durable dead-letter queue for permanently-failing campaign tasks.
+
+PR 2's retry/circuit-breaker machinery assumes failures are transient: a
+task that fails *every* attempt at *every* site would previously pin the
+campaign — burning the placement retry budget forever, or blocking a cell
+from ever merging.  The DLQ gives such tasks a terminal state instead:
+after its seeded :class:`~repro.resil.RetryPolicy` is exhausted (or the
+failure is declared :class:`~repro.errors.PermanentTaskFailure` outright,
+or a breaker keeps tripping on it), the task is recorded durably and the
+campaign *completes degraded*, reporting the DLQ contents.
+
+Format: one ``repro.resil.dlq/v1`` canonical-JSON document per line in an
+append-only ``DLQ.jsonl`` file.  Appends are fsync'd; a crash mid-append
+leaves at most one torn final line, which reads tolerate and drop (the
+task it described will simply fail and be re-recorded on resume).  Entries
+carry no wall-clock fields, so a chaos campaign's DLQ is bit-identical
+across same-seed runs.  Recording is idempotent per task key: a resumed
+campaign that dead-letters the same task again is counted as a
+redelivery, not a duplicate entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
+
+__all__ = ["DLQ_SCHEMA", "DeadLetterQueue", "task_key_tuple"]
+
+DLQ_SCHEMA = "repro.resil.dlq/v1"
+
+#: Reasons a task may be dead-lettered; fixed vocabulary so reports and
+#: tests can switch on them.
+_REASONS = frozenset({
+    "retry-exhausted",      # seeded RetryPolicy ran out of attempts
+    "permanent-failure",    # PermanentTaskFailure: no retry can fix it
+    "breaker-rejected",     # every eligible site's breaker kept it out
+    "unplaceable",          # grid placement retries exhausted
+})
+
+
+def _canonical_line(entry: Dict[str, Any]) -> str:
+    from ..store.fingerprint import canonical_json
+
+    return canonical_json(entry) + "\n"
+
+
+def _task_key_list(task_key: Sequence[Any]) -> List[Any]:
+    out: List[Any] = []
+    for part in task_key:
+        if isinstance(part, (str, bool)):
+            out.append(part)
+        elif isinstance(part, int):
+            out.append(int(part))
+        elif isinstance(part, float):
+            out.append(float(part))
+        else:
+            raise ConfigurationError(
+                f"DLQ task keys must be flat str/int/float tuples, "
+                f"got {type(part).__name__!r}")
+    return out
+
+
+class DeadLetterQueue:
+    """Append-only ``DLQ.jsonl`` of permanently-failed tasks.
+
+    Parameters
+    ----------
+    path:
+        The queue file (conventionally ``<store-root>/DLQ.jsonl`` or a
+        sibling of the campaign artifacts).  Parent directories are
+        created; an existing file is loaded so recording stays idempotent
+        across resumes.
+    obs:
+        Optional instrumentation handle (``resil.dlq.*`` counters).
+    sync:
+        fsync each append (default).  Synthetic benchmarks may relax it.
+    """
+
+    def __init__(self, path: str, obs: Optional[Obs] = None, *,
+                 sync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self._obs = as_obs(obs)
+        self._sync = sync
+        self.redeliveries = 0
+        self._entries: List[Dict[str, Any]] = []
+        self._keys: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.isfile(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            text = handle.read()
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        elif lines:
+            lines.pop()  # torn final append from a crash: drop it
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn interior line: unrecoverable, skip
+            if isinstance(entry, dict) and entry.get("schema") == DLQ_SCHEMA:
+                self._entries.append(entry)
+                self._keys.add(self._dedup_key(entry))
+
+    @staticmethod
+    def _dedup_key(entry: Dict[str, Any]) -> str:
+        fingerprint = entry.get("fingerprint")
+        if fingerprint:
+            return str(fingerprint)
+        return json.dumps(entry.get("task_key", []), sort_keys=True)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, *, task_key: Sequence[Any], reason: str, attempts: int,
+               last_error: str, fingerprint: Optional[str] = None,
+               site_history: Iterable[str] = ()) -> Dict[str, Any]:
+        """Dead-letter one task; returns the durable entry.
+
+        Idempotent: recording a task whose key is already queued counts a
+        *redelivery* and returns the existing entry unchanged, so resumed
+        campaigns cannot inflate the queue.
+        """
+        if reason not in _REASONS:
+            raise ConfigurationError(
+                f"unknown DLQ reason {reason!r}; expected one of "
+                f"{sorted(_REASONS)}")
+        entry: Dict[str, Any] = {
+            "schema": DLQ_SCHEMA,
+            "task_key": _task_key_list(task_key),
+            "fingerprint": fingerprint,
+            "reason": reason,
+            "attempts": int(attempts),
+            "last_error": str(last_error)[:500],
+            "site_history": [str(s) for s in site_history],
+        }
+        key = self._dedup_key(entry)
+        if key in self._keys:
+            self.redeliveries += 1
+            self._count("resil.dlq.redelivered")
+            for existing in self._entries:
+                if self._dedup_key(existing) == key:
+                    return existing
+        self._append(entry)
+        self._entries.append(entry)
+        self._keys.add(key)
+        self._count("resil.dlq.recorded")
+        if self._obs.enabled:
+            self._obs.event("resil.dlq.record", reason=reason,
+                            attempts=int(attempts),
+                            task_key=str(list(task_key))[:120])
+            self._obs.metrics.set_gauge("resil.dlq.depth", len(self._entries))
+        return entry
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(_canonical_line(entry))
+            if self._sync:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # -- introspection ---------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All queued entries, in append order."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint_or_key: Any) -> bool:
+        if isinstance(fingerprint_or_key, str):
+            return fingerprint_or_key in self._keys
+        if isinstance(fingerprint_or_key, (tuple, list)):
+            return json.dumps(_task_key_list(fingerprint_or_key),
+                              sort_keys=True) in self._keys
+        return False
+
+    def summary(self) -> Dict[str, Any]:
+        """Report-ready view: depth, reasons histogram, task keys."""
+        reasons: Dict[str, int] = {}
+        for entry in self._entries:
+            reasons[entry["reason"]] = reasons.get(entry["reason"], 0) + 1
+        return {
+            "depth": len(self._entries),
+            "reasons": {k: reasons[k] for k in sorted(reasons)},
+            "task_keys": [entry["task_key"] for entry in self._entries],
+            "redeliveries": self.redeliveries,
+        }
+
+    def _count(self, name: str) -> None:
+        if self._obs.enabled:
+            self._obs.metrics.inc(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeadLetterQueue({self.path!r}, depth={len(self)})"
+
+
+def task_key_tuple(entry: Dict[str, Any]) -> Tuple[Any, ...]:
+    """The entry's task key as a hashable tuple (test/report helper)."""
+    return tuple(entry["task_key"])

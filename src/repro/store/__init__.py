@@ -18,6 +18,9 @@ Public surface:
 * :func:`pulling_task` / :func:`pulling_task_3d` — task descriptors for
   the two SMD kernels;
 * :class:`ResultStore` — the crash-consistent on-disk store;
+* :class:`ShardedResultStore` — same contract plus per-shard append-only
+  index files and a ``heal()`` compaction pass, for million-task
+  campaigns where enumeration must be O(changed shards);
 * record helpers (:func:`build_record`, :func:`dumps_record`,
   :func:`loads_record`, :func:`validate_record`) for tooling and tests.
 """
@@ -39,6 +42,7 @@ from .record import (
     loads_record,
     validate_record,
 )
+from .sharded import ShardedResultStore
 from .store import ResultStore
 
 __all__ = [
@@ -56,4 +60,5 @@ __all__ = [
     "loads_record",
     "validate_record",
     "ResultStore",
+    "ShardedResultStore",
 ]

@@ -1,0 +1,208 @@
+"""The store's *index layer*: every directory scan and index-file access.
+
+Two store layouts share this module.  The flat :class:`~repro.store.ResultStore`
+uses only the scan helpers; the sharded store adds an append-only ``INDEX``
+file per shard directory so that enumeration is O(changed shards) instead of
+O(records).
+
+Design rules (enforced by lint rule SPICE106):
+
+* **All** ``os.listdir``/``os.scandir``/``glob`` calls against a store tree
+  live here.  Store logic above this layer reasons in fingerprints and
+  shard ids, never in directory entries, so the on-disk layout can change
+  without touching cache semantics.
+* Index files are *caches of the truth*, where the truth is the set of
+  record files.  Every index read tolerates a torn final line (a crash
+  during append) and every consumer must survive an index that is stale by
+  the most recent write — :meth:`ShardIndexCache.load` falls back to a
+  record scan, and the sharded store's ``heal()`` rewrites indexes from
+  records, never the other way around.
+* Durability discipline matches the record files: full rewrites go through
+  write-tmp → fsync → ``os.replace``; appends fsync before returning.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "INDEX_NAME",
+    "atomic_write_text",
+    "append_index_line",
+    "file_stat_key",
+    "scan_shard_ids",
+    "scan_shard_fingerprints",
+    "scan_extra_root_entries",
+    "read_index_lines",
+    "rewrite_index",
+    "ShardIndexCache",
+]
+
+#: Per-shard index file name.  Lives inside the shard directory next to the
+#: records it enumerates; one fingerprint per line, append-only.
+INDEX_NAME = "INDEX"
+
+_FINGERPRINT_LEN = 64
+_RECORD_SUFFIX = ".json"
+_HEX = frozenset("0123456789abcdef")
+
+
+def _is_fingerprint(text: str) -> bool:
+    return len(text) == _FINGERPRINT_LEN and set(text) <= _HEX
+
+
+# -- durable writes ------------------------------------------------------------
+
+
+def atomic_write_text(path: str, text: str, *, sync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically (write-tmp → fsync → replace)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if sync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def append_index_line(path: str, fingerprint: str, *, sync: bool = True) -> None:
+    """Append one fingerprint line to an index file, durably.
+
+    A crash mid-append leaves at most one torn final line, which
+    :func:`read_index_lines` drops on the next read.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(fingerprint + "\n")
+        if sync:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+# -- scans (the only directory walks in the store) -----------------------------
+
+
+def file_stat_key(path: str) -> Optional[Tuple[int, int]]:
+    """``(size, mtime_ns)`` memoization key for a file, ``None`` if absent."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_size, st.st_mtime_ns)
+
+
+def scan_shard_ids(root: str) -> List[str]:
+    """Sorted two-hex-char shard directory names under ``root``."""
+    out = []
+    if not os.path.isdir(root):
+        return out
+    for entry in os.listdir(root):
+        if len(entry) == 2 and set(entry) <= _HEX \
+                and os.path.isdir(os.path.join(root, entry)):
+            out.append(entry)
+    return sorted(out)
+
+
+def scan_shard_fingerprints(shard_dir: str) -> List[str]:
+    """Sorted fingerprints of the record files present in one shard dir."""
+    out = []
+    if not os.path.isdir(shard_dir):
+        return out
+    for name in os.listdir(shard_dir):
+        if name.endswith(_RECORD_SUFFIX):
+            stem = name[:-len(_RECORD_SUFFIX)]
+            if _is_fingerprint(stem):
+                out.append(stem)
+    return sorted(out)
+
+
+def scan_extra_root_entries(root: str) -> List[str]:
+    """Non-hidden root entries, for the refuse-foreign-directory check."""
+    if not os.path.isdir(root):
+        return []
+    return sorted(e for e in os.listdir(root) if not e.startswith("."))
+
+
+# -- index files ---------------------------------------------------------------
+
+
+def read_index_lines(path: str) -> List[str]:
+    """Fingerprints listed in an index file, deduplicated and sorted.
+
+    Tolerates a torn final line (no trailing newline, or garbage from a
+    crash mid-append) by dropping it; any other malformed line marks the
+    whole index as untrustworthy and raises ``ValueError`` so the caller
+    falls back to a record scan.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    elif lines:
+        # No trailing newline: the final append was torn; drop it.
+        lines.pop()
+    seen = set()
+    for line in lines:
+        if not _is_fingerprint(line):
+            raise ValueError(f"malformed index line {line!r:.80} in {path!r}")
+        seen.add(line)
+    return sorted(seen)
+
+
+def rewrite_index(path: str, fingerprints: Iterable[str], *,
+                  sync: bool = True) -> None:
+    """Atomically replace an index file with the given fingerprint set.
+
+    The final ``os.replace`` bumps the *directory* mtime after the index
+    file's own write timestamp, which would make the shard look
+    permanently stale to the dir-newer-than-index freshness check; touch
+    the index afterwards so a just-rewritten index is trusted.
+    """
+    body = "".join(fp + "\n" for fp in sorted(set(fingerprints)))
+    atomic_write_text(path, body, sync=sync)
+    os.utime(path, None)
+
+
+class ShardIndexCache:
+    """Memoized per-shard fingerprint sets, keyed on index-file stat.
+
+    ``load`` returns the shard's sorted fingerprints, re-reading the INDEX
+    file only when its ``(size, mtime_ns)`` changed — so enumerating an
+    unchanged million-record store after the first call is O(shards) stat
+    calls, not O(records) reads.  A missing or unreadable index falls back
+    to a record scan of the shard directory (and reports ``trusted=False``
+    so the owner can schedule a heal).
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, Tuple[Optional[Tuple[int, int]], List[str]]] = {}
+
+    def invalidate(self, shard_id: str) -> None:
+        self._cache.pop(shard_id, None)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def load(self, root: str, shard_id: str) -> Tuple[List[str], bool]:
+        """``(fingerprints, trusted)`` for one shard.
+
+        ``trusted`` is False when the INDEX was missing/corrupt and the
+        result came from a raw record scan instead.
+        """
+        shard_dir = os.path.join(root, shard_id)
+        index_path = os.path.join(shard_dir, INDEX_NAME)
+        key = file_stat_key(index_path)
+        cached = self._cache.get(shard_id)
+        if cached is not None and cached[0] == key and key is not None:
+            return cached[1], True
+        if key is not None:
+            try:
+                fingerprints = read_index_lines(index_path)
+            except (OSError, ValueError):
+                return scan_shard_fingerprints(shard_dir), False
+            self._cache[shard_id] = (key, fingerprints)
+            return fingerprints, True
+        return scan_shard_fingerprints(shard_dir), False

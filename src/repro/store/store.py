@@ -27,12 +27,18 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..errors import CampaignInterrupted, ConfigurationError, StoreError
 from ..obs import Obs, as_obs
 from ..smd.work import WorkEnsemble
 from .fingerprint import RECORD_SCHEMA, STORE_SCHEMA_VERSION, canonical_json
+from .index import (
+    atomic_write_text,
+    scan_extra_root_entries,
+    scan_shard_fingerprints,
+    scan_shard_ids,
+)
 from .record import build_record, decode_ensemble, dumps_record, loads_record
 
 __all__ = ["ResultStore"]
@@ -55,13 +61,21 @@ class ResultStore:
         the ``store.*`` metric families.
     """
 
-    def __init__(self, root: str, obs: Optional[Obs] = None) -> None:
+    def __init__(self, root: str, obs: Optional[Obs] = None, *,
+                 sync: bool = True) -> None:
         self.root = os.fspath(root)
         self._obs = as_obs(obs)
+        self._sync = sync
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        # Memoized content view: the fingerprint set is scanned lazily once,
+        # then maintained incrementally on put()/evict so resume loops that
+        # read len(self)/content_digest() per write stay O(1) per call
+        # instead of re-walking the tree (quadratic at campaign scale).
+        self._fps: Optional[Set[str]] = None
+        self._digest: Optional[str] = None
         #: When set (chaos harness), the store raises
         #: :class:`~repro.errors.CampaignInterrupted` after this many
         #: successful writes — *after* the record is durable, modelling a
@@ -74,7 +88,7 @@ class ResultStore:
     def _init_root(self) -> None:
         meta_path = os.path.join(self.root, _META_NAME)
         if os.path.isdir(self.root):
-            entries = [e for e in os.listdir(self.root) if not e.startswith(".")]
+            entries = scan_extra_root_entries(self.root)
             if entries and not os.path.isfile(meta_path):
                 raise StoreError(
                     f"{self.root!r} is a non-empty directory without a store "
@@ -105,13 +119,7 @@ class ResultStore:
         return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
 
     def _atomic_write(self, path: str, text: str) -> None:
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        atomic_write_text(path, text, sync=self._sync)
 
     # -- cache interface -------------------------------------------------------
 
@@ -122,18 +130,48 @@ class ResultStore:
         return len(self.fingerprints())
 
     def fingerprints(self) -> List[str]:
-        """All stored fingerprints, sorted."""
-        out = []
-        if not os.path.isdir(self.root):
-            return out
-        for shard in os.listdir(self.root):
-            shard_dir = os.path.join(self.root, shard)
-            if len(shard) != 2 or not os.path.isdir(shard_dir):
-                continue
-            for name in os.listdir(shard_dir):
-                if name.endswith(".json") and len(name) == 64 + 5:
-                    out.append(name[:-5])
-        return sorted(out)
+        """All stored fingerprints, sorted.
+
+        Scanned once, then maintained incrementally by :meth:`put` and
+        eviction; repeated calls cost one sort, not a tree walk.
+        """
+        if self._fps is None:
+            self._fps = set(self._scan_fingerprints())
+        return sorted(self._fps)
+
+    def _scan_fingerprints(self) -> List[str]:
+        """One full walk of the record tree (initial population only)."""
+        out: List[str] = []
+        for shard_id in scan_shard_ids(self.root):
+            out.extend(scan_shard_fingerprints(os.path.join(self.root, shard_id)))
+        return out
+
+    def note_hit(self, n: int = 1) -> None:
+        """Count cache hits resolved by membership alone (no record load).
+
+        The streamed executor's completion-only mode proves a task done via
+        the fingerprint set without ever calling :meth:`get`; counting the
+        hit here keeps the report's traffic section meaning the same thing
+        on every execution path.
+        """
+        self.hits += n
+        self._count("store.hits", n)
+
+    def note_miss(self, n: int = 1) -> None:
+        """Count cache misses detected by membership alone (see note_hit)."""
+        self.misses += n
+        self._count("store.misses", n)
+
+    def _note_write(self, fingerprint: str) -> None:
+        """Fold one durable record into the memoized content view."""
+        if self._fps is not None:
+            self._fps.add(fingerprint)
+        self._digest = None
+
+    def _note_evict(self, fingerprint: str) -> None:
+        if self._fps is not None:
+            self._fps.discard(fingerprint)
+        self._digest = None
 
     def read_record(self, fingerprint: str) -> Dict[str, Any]:
         """Load + validate the raw record document (no eviction on failure)."""
@@ -180,6 +218,7 @@ class ResultStore:
             self._obs.event("store.evict", path=os.path.basename(path),
                             reason=str(reason)[:200])
         os.replace(path, path + ".corrupt")
+        self._note_evict(os.path.basename(path)[:-len(".json")])
 
     def put(self, task: Dict[str, Any], ensemble: WorkEnsemble) -> str:
         """Persist one completed task; returns its fingerprint.
@@ -193,6 +232,7 @@ class ResultStore:
         record = build_record(task, ensemble)
         fingerprint = record["fingerprint"]
         self._atomic_write(self.path_for(fingerprint), dumps_record(record))
+        self._note_write(fingerprint)
         self.writes += 1
         self._count("store.writes")
         if self._obs.enabled:
@@ -222,11 +262,14 @@ class ResultStore:
     def content_digest(self) -> str:
         """SHA-256 over the sorted fingerprints: the store's content
         identity.  Two stores holding the same completed tasks — however
-        they got there — have equal digests."""
-        digest = hashlib.sha256()
-        for fingerprint in self.fingerprints():
-            digest.update(fingerprint.encode("ascii"))
-        return digest.hexdigest()
+        they got there — have equal digests.  Memoized until the next
+        write/evict."""
+        if self._digest is None:
+            digest = hashlib.sha256()
+            for fingerprint in self.fingerprints():
+                digest.update(fingerprint.encode("ascii"))
+            self._digest = digest.hexdigest()
+        return self._digest
 
     def stats(self) -> Dict[str, int]:
         """Cache-traffic counters for reports and assertions."""
@@ -238,9 +281,9 @@ class ResultStore:
             "records": len(self),
         }
 
-    def _count(self, name: str) -> None:
+    def _count(self, name: str, n: int = 1) -> None:
         if self._obs.enabled:
-            self._obs.metrics.inc(name)
+            self._obs.metrics.inc(name, n)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({self.root!r}, records={len(self)})"

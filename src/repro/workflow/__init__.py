@@ -11,6 +11,14 @@ from .phases import (
 from .campaign import SpiceCampaign, SpiceCampaignResult, build_default_federation
 from .interactive_session import InteractiveSessionOutcome, InteractiveSessionRunner
 from .production import FullAxisResult, run_full_axis_production
+from .streaming import (
+    StreamCursor,
+    StreamReport,
+    StreamTask,
+    run_streamed_study,
+    run_streamed_tasks,
+    stream_study_tasks,
+)
 
 __all__ = [
     "StructuralInsight",
@@ -26,4 +34,10 @@ __all__ = [
     "InteractiveSessionRunner",
     "FullAxisResult",
     "run_full_axis_production",
+    "StreamTask",
+    "StreamCursor",
+    "StreamReport",
+    "stream_study_tasks",
+    "run_streamed_tasks",
+    "run_streamed_study",
 ]

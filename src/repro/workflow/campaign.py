@@ -121,6 +121,10 @@ class SpiceCampaign:
         resil=None,
         store=None,
         skip_completed: bool = False,
+        dlq=None,
+        retry=None,
+        stealing=None,
+        streaming_window: Optional[int] = None,
     ) -> None:
         self.obs = as_obs(obs)
         self.federation = (
@@ -147,6 +151,17 @@ class SpiceCampaign:
         #: grid jobs with existing store records as completed instead of
         #: replaying their schedule.
         self.skip_completed = bool(skip_completed)
+        #: Optional :class:`~repro.resil.DeadLetterQueue`: terminal task
+        #: failures are recorded durably and the campaign completes
+        #: degraded instead of raising.
+        self.dlq = dlq
+        #: Optional :class:`~repro.resil.RetryPolicy` for streamed tasks.
+        self.retry = retry
+        #: Optional :class:`~repro.grid.WorkStealer` for the batch phase.
+        self.stealing = stealing
+        #: Streaming window for the batch study (see
+        #: :class:`~repro.workflow.phases.BatchPhase`).
+        self.streaming_window = streaming_window
 
     def run(self) -> SpiceCampaignResult:
         with self.obs.span("campaign.static-viz"):
@@ -174,6 +189,10 @@ class SpiceCampaign:
                 resil=self.resil,
                 store=self.store,
                 skip_completed=self.skip_completed,
+                dlq=self.dlq,
+                retry=self.retry,
+                stealing=self.stealing,
+                streaming_window=self.streaming_window,
             ).run()
         return SpiceCampaignResult(
             structure=structure, interactive=interactive, batch=batch

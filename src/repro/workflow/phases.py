@@ -227,6 +227,10 @@ class BatchPhase:
         resil=None,
         store=None,
         skip_completed: bool = False,
+        dlq=None,
+        retry=None,
+        stealing=None,
+        streaming_window: Optional[int] = None,
     ) -> None:
         if replicas_per_cell <= 0 or samples_per_replica <= 0:
             raise ConfigurationError("replicas and samples must be positive")
@@ -260,6 +264,24 @@ class BatchPhase:
         #: view).  Off by default — the default resume replays the cheap
         #: DES schedule so the campaign report stays bit-identical.
         self.skip_completed = bool(skip_completed)
+        #: Optional :class:`~repro.resil.DeadLetterQueue` (duck-typed).
+        #: With one attached, permanently-failing study tasks and
+        #: unplaceable grid jobs land in it and the campaign *completes
+        #: degraded* instead of raising.
+        self.dlq = dlq
+        #: Optional :class:`~repro.resil.RetryPolicy` for streamed study
+        #: tasks (attempt budget only; exhaustion dead-letters).
+        self.retry = retry
+        #: Optional :class:`~repro.grid.WorkStealer` (opt-in; attached to
+        #: the campaign manager for the scheduling run).
+        self.stealing = stealing
+        if streaming_window is not None and store is None:
+            raise ConfigurationError("streaming_window requires a store")
+        #: With a store: run the study through the lazy streaming executor
+        #: with this many task descriptors in flight (resume skips the
+        #: completed prefix via the store cursor).  ``None`` keeps the
+        #: materialized per-cell path.
+        self.streaming_window = streaming_window
 
     @property
     def n_jobs(self) -> int:
@@ -338,16 +360,23 @@ class BatchPhase:
         # unit is individually memoized and a killed phase resumes.
         study = run_parameter_study(
             self.model,
-            protocols=protocols,
+            protocols=iter(protocols) if self.streaming_window is not None
+            else protocols,
             n_samples=self.replicas_per_cell * self.samples_per_replica,
             seed=self.seed,
             obs=self.obs,
             store=self.store,
             samples_per_task=self.samples_per_replica,
+            window=self.streaming_window,
+            dlq=self.dlq,
+            retry=self.retry,
         )
         # Infrastructure: schedule the corresponding jobs on the federation.
         jobs = self.build_jobs(protocols)
         manager = CampaignManager(self.federation, obs=self.obs,
-                                  resil=self.resil)
-        campaign = manager.run(jobs, completed=completed)
+                                  resil=self.resil, stealing=self.stealing,
+                                  dlq=self.dlq)
+        campaign = manager.run(
+            jobs, completed=completed,
+            job_fingerprints=dict(self.job_task_fingerprints(protocols)))
         return BatchPhaseResult(study=study, campaign=campaign, jobs=jobs)

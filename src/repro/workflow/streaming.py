@@ -1,0 +1,510 @@
+"""Lazy task streaming for million-task campaigns.
+
+The classic drivers (:func:`repro.core.run_parameter_study`,
+:class:`~repro.workflow.SpiceCampaign`) materialize their whole task grid
+before running it — fine for the paper's 72 jobs, fatal for the ROADMAP's
+10^6-task regime, where the descriptor list alone dwarfs the physics and a
+resume must not re-fingerprint a million completed tasks just to find the
+first miss.  This module streams instead:
+
+* :class:`StreamTask` — one lazily-built task: global index, cell labels,
+  the canonical store descriptor, and a ``compute`` thunk.
+* :func:`stream_study_tasks` — generator over a (possibly lazy) protocol
+  iterable yielding the exact tasks — same descriptors, same
+  ``stream_for`` seed keys, hence *same fingerprints* — that
+  :func:`~repro.smd.ensemble.run_work_ensemble` would run, so streamed
+  and classic campaigns share store records interchangeably.
+* :class:`StreamCursor` — a durable watermark under
+  ``<store>/.stream/``: the contiguous prefix of the stream known
+  resolved (completed or dead-lettered).  Resume skips the prefix without
+  fingerprinting it — the fingerprint-based check only starts at the
+  watermark — so a fully-complete million-task campaign resumes in
+  seconds.
+* :func:`run_streamed_tasks` — the bounded-window execution loop with
+  store memoization, seeded retries, and dead-letter-queue degradation.
+* :func:`run_streamed_study` — per-cell assembly on top: merged ensembles
+  for every cell whose tasks all resolved, and a degradation report for
+  the rest.
+
+Determinism: a task's physics depends only on its descriptor (the store
+fingerprint covers model, protocol, shape and seed key); the window size,
+the cursor, retries and the DLQ affect only *which* tasks are recomputed,
+never their values — so fault-free streamed output is bit-identical to
+the classic drivers, and a chaos run's completed cells are bit-identical
+across same-seed runs.
+
+Only the cursor file is written outside the store's record tree (under the
+hidden ``.stream/`` entry, invisible to the store's meta/scan logic); all
+record I/O goes through the store's own layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
+
+from ..errors import (
+    CampaignInterrupted,
+    ConfigurationError,
+    PermanentTaskFailure,
+    ReproError,
+    StoreError,
+)
+from ..obs import Obs, as_obs
+from ..rng import SeedLike, as_seed_int, stream_for
+from ..smd.work import WorkEnsemble
+
+__all__ = [
+    "CURSOR_SCHEMA",
+    "StreamTask",
+    "StreamCursor",
+    "StreamReport",
+    "stream_study_tasks",
+    "run_streamed_tasks",
+    "run_streamed_study",
+]
+
+CURSOR_SCHEMA = "repro.store.cursor/v1"
+
+#: Failures the retry loop may attempt again; anything else propagates.
+#: (PermanentTaskFailure and CampaignInterrupted are handled separately.)
+_RETRYABLE = (ReproError, FloatingPointError)
+
+
+@dataclass(frozen=True)
+class StreamTask:
+    """One streamed unit of work.
+
+    ``task`` is the canonical store descriptor (fingerprintable via
+    :func:`repro.store.task_fingerprint`); ``key`` is its seed/stream key,
+    doubling as the DLQ task key; ``cell`` groups tasks for per-cell
+    assembly; ``compute`` produces the ensemble when the store misses.
+    """
+
+    index: int
+    key: Tuple[Any, ...]
+    cell: Tuple[Any, ...]
+    task: Dict[str, Any]
+    compute: Callable[[], WorkEnsemble]
+
+
+class StreamCursor:
+    """Durable resume watermark for one campaign over one store.
+
+    The watermark is the length of the *contiguous resolved prefix* of the
+    task stream: every task before it is either in the store or durably
+    dead-lettered.  It is advanced conservatively (only after the
+    underlying records are durable) and written atomically, so a crash can
+    only leave it stale — a stale watermark costs fingerprint checks, a
+    watermark ahead of the truth could skip real work and is impossible by
+    construction.
+
+    Identity: the file name and payload carry a fingerprint of the
+    campaign key (seed, grid shape, task parameters...), so a cursor is
+    never trusted for a different campaign sharing the store.
+    """
+
+    def __init__(self, store_root: str, campaign_key: Sequence[Any], *,
+                 sync: bool = True) -> None:
+        from ..store.fingerprint import canonical_json
+
+        self._campaign = canonical_json(list(campaign_key))
+        self._campaign_fp = hashlib.sha256(
+            self._campaign.encode("utf-8")).hexdigest()
+        self.path = os.path.join(
+            os.fspath(store_root), ".stream", self._campaign_fp[:32] + ".json")
+        self._sync = sync
+
+    def load(self) -> int:
+        """The stored watermark, or 0 when absent/foreign/invalid."""
+        import json
+
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(doc, dict) or doc.get("schema") != CURSOR_SCHEMA:
+            return 0
+        if doc.get("campaign_fingerprint") != self._campaign_fp:
+            return 0
+        watermark = doc.get("watermark")
+        if not isinstance(watermark, int) or watermark < 0:
+            return 0
+        return watermark
+
+    def save(self, watermark: int) -> None:
+        from ..store.fingerprint import canonical_json
+        from ..store.index import atomic_write_text
+
+        doc = {
+            "schema": CURSOR_SCHEMA,
+            "campaign_fingerprint": self._campaign_fp,
+            "watermark": int(watermark),
+        }
+        atomic_write_text(self.path, canonical_json(doc) + "\n",
+                          sync=self._sync)
+
+
+@dataclass
+class StreamReport:
+    """Counters from one :func:`run_streamed_tasks` pass."""
+
+    total: int = 0
+    skipped_prefix: int = 0   # resolved via the cursor, no fingerprinting
+    hits: int = 0             # resolved via store membership
+    computed: int = 0
+    dead_lettered: int = 0
+    retries: int = 0
+    watermark: int = 0
+    #: index → ensemble for collected tasks (collect=True only; tasks that
+    #: were dead-lettered are absent).
+    results: Dict[int, WorkEnsemble] = field(default_factory=dict)
+    #: index → DLQ entry for tasks that failed terminally this pass or a
+    #: previous one (when the stream re-encounters them).
+    failures: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def resolved(self) -> int:
+        return self.skipped_prefix + self.hits + self.computed
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+
+def stream_study_tasks(
+    model: Any,
+    protocols: Iterable[Any],
+    n_tasks: int,
+    samples_per_task: int,
+    *,
+    seed: SeedLike = 2005,
+    dt: Optional[float] = None,
+    n_records: int = 41,
+    force_sample_time: Optional[float] = None,
+    cpu_hours_per_ns: Optional[float] = None,
+    kernel: str = "vectorized",
+    obs: Optional[Obs] = None,
+) -> Iterator[StreamTask]:
+    """Lazily yield every task of a (kappa, v) study, grid never built.
+
+    The descriptors, labels and seed keys replicate
+    :func:`~repro.smd.ensemble.run_work_ensemble` exactly (cell labels
+    ``("cell", int(kappa*1000), int(v*1000))``, task key
+    ``(seed, *labels, "task", t)``), so streamed task fingerprints are
+    identical to the classic path's and the two share store records.
+    ``protocols`` may be any iterable, including a generator — it is
+    consumed one cell at a time.
+    """
+    from ..smd.ensemble import (
+        DEFAULT_FORCE_SAMPLE_TIME,
+        PAPER_CPU_HOURS_PER_NS,
+        run_pulling_ensemble,
+    )
+    from ..store.fingerprint import pulling_task
+
+    if n_tasks < 1 or samples_per_task < 1:
+        raise ConfigurationError("n_tasks and samples_per_task must be >= 1")
+    base = as_seed_int(seed)
+    fst = (DEFAULT_FORCE_SAMPLE_TIME if force_sample_time is None
+           else force_sample_time)
+    chn = (PAPER_CPU_HOURS_PER_NS if cpu_hours_per_ns is None
+           else cpu_hours_per_ns)
+    index = 0
+    for proto in protocols:
+        labels = ("cell", int(proto.kappa_pn * 1000),
+                  int(proto.velocity * 1000))
+        for t in range(n_tasks):
+            key = (base, *labels, "task", t)
+            task = pulling_task(
+                model, proto, n_samples=samples_per_task,
+                n_records=n_records, force_sample_time=fst, dt=dt,
+                cpu_hours_per_ns=chn, seed_key=key,
+            )
+
+            def compute(proto: Any = proto, t: int = t,
+                        labels: Tuple[Any, ...] = labels) -> WorkEnsemble:
+                return run_pulling_ensemble(
+                    model, proto, samples_per_task, dt=dt,
+                    n_records=n_records, force_sample_time=fst,
+                    seed=stream_for(base, *labels, "task", t),
+                    cpu_hours_per_ns=chn, obs=obs, kernel=kernel,
+                )
+
+            yield StreamTask(index=index, key=key, cell=labels, task=task,
+                             compute=compute)
+            index += 1
+
+
+def run_streamed_tasks(
+    tasks: Iterable[StreamTask],
+    *,
+    store: Any,
+    campaign_key: Optional[Sequence[Any]] = None,
+    window: int = 64,
+    collect: bool = True,
+    dlq: Any = None,
+    retry: Any = None,
+    fault: Optional[Callable[[StreamTask, int], None]] = None,
+    checkpoint_windows: int = 4,
+    obs: Optional[Obs] = None,
+) -> StreamReport:
+    """Drain a task stream through the store with bounded in-flight state.
+
+    At most ``window`` task descriptors are materialized at once; each
+    window resolves store hits, computes misses in stream order, then
+    advances the durable cursor when the resolved prefix is contiguous.
+
+    Resume semantics: tasks below the cursor watermark are skipped without
+    even computing their fingerprint (the cursor is only ever behind the
+    truth, never ahead).  The first post-watermark task of each window is
+    resolved by store membership — loaded from the per-shard indexes once,
+    O(changed shards) on a sharded store — and misses are recomputed
+    bit-identically from their seed key.
+
+    Failure semantics: a compute raising :class:`PermanentTaskFailure` is
+    dead-lettered immediately; other :class:`ReproError` failures are
+    retried per the seeded ``retry`` policy (attempts only — simulation
+    tasks have no wall-clock backoff to wait out) and dead-lettered on
+    exhaustion.  Without a ``dlq`` the failure propagates: silent loss is
+    never an option.  ``fault`` is the chaos hook, called before every
+    attempt.  :class:`CampaignInterrupted` always propagates (that *is*
+    the kill switch).
+    """
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    if checkpoint_windows < 1:
+        raise ConfigurationError("checkpoint_windows must be >= 1")
+    from ..store.fingerprint import task_fingerprint
+
+    obs = as_obs(obs)
+    report = StreamReport()
+    cursor: Optional[StreamCursor] = None
+    watermark = 0
+    if campaign_key is not None:
+        sync = getattr(store, "_sync", True)
+        cursor = StreamCursor(store.root, campaign_key, sync=sync)
+        watermark = cursor.load()
+    report.watermark = watermark
+    # Collect mode must *load* every hit anyway, so the cursor cannot skip
+    # work for it — prefix tasks go through ordinary membership + get().
+    # The cursor is still maintained for later completion-only passes.
+    skip_watermark = 0 if collect else watermark
+
+    # Membership, loaded once from the store's index layer and maintained
+    # incrementally — never a per-task directory probe.
+    known = set(store.fingerprints())
+    dead: set = set()
+    if dlq is not None:
+        dead = {entry.get("fingerprint") for entry in dlq.entries()
+                if entry.get("fingerprint")}
+
+    pending: List[StreamTask] = []
+    prefix_contiguous = True
+    next_prefix_index = skip_watermark
+    windows_since_checkpoint = 0
+
+    def resolve_window() -> None:
+        nonlocal prefix_contiguous, next_prefix_index, windows_since_checkpoint
+        for spec in pending:
+            fingerprint = task_fingerprint(spec.task)
+            resolved = False
+            miss_counted = False
+            if fingerprint in dead:
+                # Durably dead-lettered by a previous pass: stays failed,
+                # counts as resolved for the watermark (degraded resume).
+                report.failures[spec.index] = {"fingerprint": fingerprint}
+                resolved = True
+            elif fingerprint in known:
+                report.hits += 1
+                obs.inc("stream.hits")
+                resolved = True
+                if collect:
+                    ensemble = store.get(fingerprint)
+                    if ensemble is None:
+                        # Evicted as corrupt on read: recompute in place
+                        # (get() already counted the store-level miss).
+                        known.discard(fingerprint)
+                        resolved = False
+                        miss_counted = True
+                        report.hits -= 1
+                    else:
+                        report.results[spec.index] = ensemble
+                else:
+                    # Completion-only mode proves the task done without
+                    # loading it; keep the store's hit/miss traffic the
+                    # same on every execution path.
+                    store.note_hit()
+            if not resolved:
+                if not miss_counted:
+                    store.note_miss()
+                ensemble = _compute_with_retry(spec, report, dlq=dlq,
+                                               retry=retry, fault=fault,
+                                               obs=obs)
+                if ensemble is None:  # dead-lettered
+                    dead.add(fingerprint)
+                    report.failures[spec.index] = {"fingerprint": fingerprint}
+                else:
+                    store.put(spec.task, ensemble)
+                    known.add(fingerprint)
+                    report.computed += 1
+                    obs.inc("stream.computed")
+                    if collect:
+                        report.results[spec.index] = ensemble
+            if prefix_contiguous and spec.index == next_prefix_index:
+                next_prefix_index += 1
+            else:
+                prefix_contiguous = False
+        pending.clear()
+        windows_since_checkpoint += 1
+        if (cursor is not None and prefix_contiguous
+                and next_prefix_index > report.watermark
+                and windows_since_checkpoint >= checkpoint_windows):
+            cursor.save(next_prefix_index)
+            report.watermark = next_prefix_index
+            windows_since_checkpoint = 0
+
+    try:
+        for spec in tasks:
+            report.total += 1
+            if spec.index < skip_watermark:
+                report.skipped_prefix += 1
+                continue
+            pending.append(spec)
+            if len(pending) >= window:
+                resolve_window()
+        if pending:
+            resolve_window()
+    finally:
+        # Persist whatever prefix progress was made, even on interrupt.
+        if (cursor is not None and prefix_contiguous
+                and next_prefix_index > report.watermark):
+            cursor.save(next_prefix_index)
+            report.watermark = next_prefix_index
+    report.dead_lettered = len(report.failures)
+    if obs.enabled:
+        obs.set_gauge("stream.watermark", report.watermark)
+        obs.set_gauge("stream.failures", report.dead_lettered)
+    return report
+
+
+def _compute_with_retry(
+    spec: StreamTask,
+    report: StreamReport,
+    *,
+    dlq: Any,
+    retry: Any,
+    fault: Optional[Callable[[StreamTask, int], None]],
+    obs: Obs,
+) -> Optional[WorkEnsemble]:
+    """Run one task under the retry policy; None means dead-lettered."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            if fault is not None:
+                fault(spec, attempts)
+            return spec.compute()
+        except CampaignInterrupted:
+            raise
+        except PermanentTaskFailure as exc:
+            return _dead_letter(spec, "permanent-failure", attempts, exc,
+                                dlq=dlq, obs=obs)
+        except _RETRYABLE as exc:
+            exhausted = retry is None or retry.exhausted(attempts)
+            if exhausted:
+                return _dead_letter(spec, "retry-exhausted", attempts, exc,
+                                    dlq=dlq, obs=obs)
+            report.retries += 1
+            obs.inc("stream.retries")
+
+
+def _dead_letter(spec: StreamTask, reason: str, attempts: int,
+                 exc: Exception, *, dlq: Any, obs: Obs) -> None:
+    from ..store.fingerprint import task_fingerprint
+
+    if dlq is None:
+        raise StoreError(
+            f"task {spec.key!r} failed terminally ({reason}: {exc}) and no "
+            f"dead-letter queue is attached; refusing to drop it silently"
+        ) from exc
+    dlq.record(
+        task_key=spec.key,
+        fingerprint=task_fingerprint(spec.task),
+        reason=reason,
+        attempts=attempts,
+        last_error=f"{type(exc).__name__}: {exc}",
+    )
+    obs.inc("stream.dead_lettered")
+    return None
+
+
+def run_streamed_study(
+    model: Any,
+    protocols: Iterable[Any],
+    *,
+    n_samples: int = 32,
+    samples_per_task: int = 4,
+    seed: SeedLike = 2005,
+    store: Any,
+    window: int = 64,
+    dlq: Any = None,
+    retry: Any = None,
+    fault: Optional[Callable[[StreamTask, int], None]] = None,
+    n_records: int = 41,
+    kernel: str = "vectorized",
+    obs: Optional[Obs] = None,
+) -> Tuple[Dict[Tuple[Any, ...], WorkEnsemble], StreamReport]:
+    """Streamed equivalent of the study loop: per-cell merged ensembles.
+
+    Returns ``(ensembles, report)`` where ``ensembles`` maps each cell's
+    labels to its merged :class:`WorkEnsemble` — *only* cells whose every
+    task resolved; cells with dead-lettered tasks are omitted (the
+    degraded-completion contract) and identified in ``report.failures``.
+    Fault-free, the per-cell ensembles are bit-identical to
+    :func:`~repro.smd.ensemble.run_work_ensemble` on the same arguments.
+    """
+    if n_samples % samples_per_task:
+        raise ConfigurationError(
+            f"samples_per_task ({samples_per_task}) must divide "
+            f"n_samples ({n_samples}) evenly")
+    n_tasks = n_samples // samples_per_task
+    campaign_key = ["study", as_seed_int(seed), n_samples, samples_per_task,
+                    n_records]
+    specs = stream_study_tasks(
+        model, protocols, n_tasks, samples_per_task, seed=seed,
+        n_records=n_records, kernel=kernel, obs=obs,
+    )
+    # Remember each spec's cell as it streams past, for per-cell assembly
+    # (small: one entry per task index, no descriptors retained).
+    cells: Dict[int, Tuple[Any, ...]] = {}
+
+    def tagged() -> Iterator[StreamTask]:
+        for spec in specs:
+            cells[spec.index] = spec.cell
+            yield spec
+
+    report = run_streamed_tasks(
+        tagged(), store=store, campaign_key=campaign_key, window=window,
+        collect=True, dlq=dlq, retry=retry, fault=fault, obs=obs,
+    )
+    by_cell: Dict[Tuple[Any, ...], List[Tuple[int, WorkEnsemble]]] = {}
+    failed_cells = {cells[i] for i in report.failures if i in cells}
+    for index, ensemble in report.results.items():
+        cell = cells[index]
+        if cell in failed_cells:
+            continue
+        by_cell.setdefault(cell, []).append((index, ensemble))
+    merged: Dict[Tuple[Any, ...], WorkEnsemble] = {}
+    for cell, parts in by_cell.items():
+        parts.sort(key=lambda pair: pair[0])
+        ensemble = parts[0][1]
+        for _idx, part in parts[1:]:
+            ensemble = ensemble.merged_with(part)
+        merged[cell] = ensemble
+    return merged, report

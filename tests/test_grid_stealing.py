@@ -1,0 +1,132 @@
+"""Work stealing: opt-in only, deterministic per seed, and actually moves
+jobs from backlogged/down victims to idle thieves."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import (
+    CampaignManager,
+    EventLoop,
+    FederatedGrid,
+    Grid,
+    Job,
+    StealingPolicy,
+    WorkStealer,
+    ngs_sites,
+    spice_batch_jobs,
+    teragrid_sites,
+)
+
+SEED = 2005
+
+
+def build_federation():
+    loop = EventLoop()
+    return FederatedGrid([
+        Grid("TeraGrid", teragrid_sites(), loop),
+        Grid("NGS", ngs_sites(), loop),
+    ])
+
+
+def oversubscribed_jobs(n=60):
+    """More work than the federation can run at once: queues must form."""
+    return [Job(name=f"steal-{i}", procs=100, duration_hours=10.0)
+            for i in range(n)]
+
+
+def run_campaign(jobs_factory, *, stealer=None, outage=True):
+    federation = build_federation()
+    if outage:
+        federation.all_queues()["PSC"].schedule_outage(0.5, 400.0)
+    manager = CampaignManager(federation, stealing=stealer)
+    report = manager.run(jobs_factory())
+    return report
+
+
+class TestPolicyValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StealingPolicy(check_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            StealingPolicy(min_victim_backlog=0)
+        with pytest.raises(ConfigurationError):
+            StealingPolicy(max_steals_per_pass=0)
+
+    def test_double_attach_rejected(self):
+        stealer = WorkStealer(seed=SEED)
+        federation = build_federation()
+        manager = CampaignManager(federation, stealing=stealer)
+        manager.run([Job(name="one", procs=16, duration_hours=1.0)])
+        with pytest.raises(ConfigurationError):
+            stealer.attach(manager)
+
+    def test_steal_pass_before_attach_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkStealer(seed=SEED).steal_pass()
+
+
+class TestStealingMovesWork:
+    def test_oversubscribed_campaign_steals(self):
+        stealer = WorkStealer(seed=SEED, policy=StealingPolicy(
+            check_hours=1.0, min_victim_backlog=1))
+        report = run_campaign(oversubscribed_jobs, stealer=stealer)
+        assert report.steals > 0
+        assert report.steals == stealer.steals
+        assert len(report.completed) == 60
+        summary = stealer.summary()
+        assert sum(summary["by_thief"].values()) == stealer.steals
+        assert sum(summary["from_victim"].values()) == stealer.steals
+
+    def test_stolen_jobs_record_site_history(self):
+        stealer = WorkStealer(seed=SEED, policy=StealingPolicy(
+            check_hours=1.0, min_victim_backlog=1))
+        federation = build_federation()
+        federation.all_queues()["PSC"].schedule_outage(0.5, 400.0)
+        manager = CampaignManager(federation, stealing=stealer)
+        jobs = oversubscribed_jobs()
+        manager.run(jobs)
+        stolen = [j for j in jobs if j.steals > 0]
+        assert stolen
+        for job in stolen:
+            # Stolen at least once: the job saw more than one site.
+            assert len(job.site_history) >= 2
+
+    def test_fault_free_default_path_never_steals(self):
+        """Opt-in contract: without a stealer the campaign is the oracle."""
+        report = run_campaign(oversubscribed_jobs, outage=False)
+        assert report.steals == 0
+
+
+class TestDeterminism:
+    def test_same_seed_campaigns_steal_identically(self):
+        def one(seed):
+            stealer = WorkStealer(seed=seed, policy=StealingPolicy(
+                check_hours=1.0, min_victim_backlog=1))
+            report = run_campaign(oversubscribed_jobs, stealer=stealer)
+            return (report.makespan_hours, report.steals,
+                    stealer.summary())
+
+        assert one(SEED) == one(SEED)
+
+    def test_stealer_does_not_change_completion_set(self):
+        stealer = WorkStealer(seed=SEED, policy=StealingPolicy(
+            check_hours=1.0, min_victim_backlog=1))
+        with_stealing = run_campaign(oversubscribed_jobs, stealer=stealer)
+        without = run_campaign(oversubscribed_jobs)
+        assert ({j.name for j in with_stealing.completed}
+                == {j.name for j in without.completed})
+
+    def test_paper_batch_fault_free_unchanged_by_stealer(self):
+        """With no faults and no backlog pressure the stealer is inert on
+        the paper's 72-job batch: bit-identical makespan."""
+        def batch(stealer):
+            federation = build_federation()
+            manager = CampaignManager(federation, stealing=stealer)
+            return manager.run(spice_batch_jobs(n_jobs=72, ns_per_job=0.35))
+
+        oracle = batch(None)
+        stealer = WorkStealer(seed=SEED)
+        stolen = batch(stealer)
+        assert stealer.steals == 0
+        assert stolen.makespan_hours == oracle.makespan_hours
+        assert stolen.per_resource_jobs == oracle.per_resource_jobs

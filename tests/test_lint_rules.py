@@ -355,6 +355,56 @@ class TestBatchedKernelContract:
         assert rule_ids("examples/batch_demo.py", src) == []
 
 
+class TestIndexLayerDiscipline:
+    def test_listdir_in_store_module_flagged(self):
+        src = """\
+        import os
+        names = os.listdir(root)
+        """
+        assert rule_ids("src/repro/store/sharded.py", src) == ["SPICE106"]
+
+    def test_glob_and_scandir_in_stealing_flagged(self):
+        src = """\
+        import glob
+        import os
+        hits = glob.glob("*/**.json")
+        entries = os.scandir(".")
+        """
+        assert rule_ids("src/repro/grid/stealing.py", src) == [
+            "SPICE106"] * 2
+
+    def test_os_walk_alias_resolved(self):
+        src = """\
+        from os import walk
+        for _root, _dirs, _files in walk(base):
+            pass
+        """
+        assert rule_ids("src/repro/store/store.py", src) == ["SPICE106"]
+
+    def test_index_layer_is_exempt(self):
+        src = """\
+        import os
+        names = os.listdir(root)
+        """
+        assert rule_ids("src/repro/store/index.py", src) == []
+
+    def test_other_grid_modules_and_tests_out_of_scope(self):
+        src = """\
+        import os
+        names = os.listdir(root)
+        """
+        assert rule_ids("src/repro/grid/scheduler.py", src) == []
+        assert rule_ids("tests/test_store.py", src) == []
+
+    def test_non_enumerating_os_calls_pass(self):
+        src = """\
+        import os
+        os.replace(tmp, final)
+        path = os.path.join(root, "ab")
+        """
+        assert rule_ids("src/repro/store/sharded.py", src) == []
+
+
 class TestNoqaSuppression:
     def test_targeted_noqa_suppresses_named_rule(self):
         src = "KC = 332.0637  # spice: noqa SPICE202\n"

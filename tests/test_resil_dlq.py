@@ -1,0 +1,135 @@
+"""Dead-letter queue: durability, idempotency, and the permafail chaos
+scenario that drives two poisoned tasks into it."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resil import SCENARIOS, run_chaos_scenario
+from repro.resil.dlq import DLQ_SCHEMA, DeadLetterQueue, task_key_tuple
+from repro.store import canonical_json
+
+SEED = 2005
+
+
+class TestRecording:
+    def test_entry_fields_and_schema(self, tmp_path):
+        dlq = DeadLetterQueue(os.fspath(tmp_path / "DLQ.jsonl"))
+        entry = dlq.record(
+            task_key=(SEED, "smd", "cell", 3), reason="retry-exhausted",
+            attempts=3, last_error="boom", fingerprint="ab" * 32,
+            site_history=["NCSA", "SDSC"])
+        assert entry["schema"] == DLQ_SCHEMA
+        assert entry["task_key"] == [SEED, "smd", "cell", 3]
+        assert entry["reason"] == "retry-exhausted"
+        assert entry["attempts"] == 3
+        assert entry["site_history"] == ["NCSA", "SDSC"]
+        assert task_key_tuple(entry) == (SEED, "smd", "cell", 3)
+
+    def test_unknown_reason_rejected(self, tmp_path):
+        dlq = DeadLetterQueue(os.fspath(tmp_path / "DLQ.jsonl"))
+        with pytest.raises(ConfigurationError):
+            dlq.record(task_key=("a",), reason="gremlins", attempts=1,
+                       last_error="x")
+
+    def test_long_error_truncated(self, tmp_path):
+        dlq = DeadLetterQueue(os.fspath(tmp_path / "DLQ.jsonl"))
+        entry = dlq.record(task_key=("a",), reason="permanent-failure",
+                           attempts=1, last_error="x" * 2000)
+        assert len(entry["last_error"]) == 500
+
+    def test_contains_by_fingerprint_and_key(self, tmp_path):
+        dlq = DeadLetterQueue(os.fspath(tmp_path / "DLQ.jsonl"))
+        dlq.record(task_key=("a", 1), reason="retry-exhausted", attempts=2,
+                   last_error="x", fingerprint="fp-a")
+        dlq.record(task_key=("b", 2), reason="retry-exhausted", attempts=2,
+                   last_error="x")
+        assert "fp-a" in dlq
+        assert ("b", 2) in dlq
+        assert ("c", 3) not in dlq
+
+
+class TestDurabilityAndIdempotency:
+    def test_reload_sees_recorded_entries(self, tmp_path):
+        path = os.fspath(tmp_path / "DLQ.jsonl")
+        first = DeadLetterQueue(path)
+        first.record(task_key=("a", 1), reason="retry-exhausted",
+                     attempts=3, last_error="boom", fingerprint="fp-a")
+        reloaded = DeadLetterQueue(path)
+        assert len(reloaded) == 1
+        assert reloaded.entries() == first.entries()
+
+    def test_redelivery_counts_but_does_not_duplicate(self, tmp_path):
+        path = os.fspath(tmp_path / "DLQ.jsonl")
+        dlq = DeadLetterQueue(path)
+        for _ in range(3):
+            dlq.record(task_key=("a", 1), reason="retry-exhausted",
+                       attempts=3, last_error="boom", fingerprint="fp-a")
+        assert len(dlq) == 1
+        assert dlq.redeliveries == 2
+        # Resume path: the reloaded queue dedups too.
+        again = DeadLetterQueue(path)
+        again.record(task_key=("a", 1), reason="retry-exhausted",
+                     attempts=3, last_error="boom", fingerprint="fp-a")
+        assert len(again) == 1
+        assert again.redeliveries == 1
+
+    def test_torn_final_line_dropped_on_load(self, tmp_path):
+        path = os.fspath(tmp_path / "DLQ.jsonl")
+        dlq = DeadLetterQueue(path)
+        dlq.record(task_key=("a", 1), reason="retry-exhausted", attempts=3,
+                   last_error="boom")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro.resil.dlq/v1", "task')  # crash
+        assert len(DeadLetterQueue(path)) == 1
+
+    def test_summary_histogram(self, tmp_path):
+        dlq = DeadLetterQueue(os.fspath(tmp_path / "DLQ.jsonl"))
+        dlq.record(task_key=("a",), reason="retry-exhausted", attempts=3,
+                   last_error="x")
+        dlq.record(task_key=("b",), reason="retry-exhausted", attempts=3,
+                   last_error="x")
+        dlq.record(task_key=("c",), reason="breaker-rejected", attempts=8,
+                   last_error="x")
+        summary = dlq.summary()
+        assert summary["depth"] == 3
+        assert summary["reasons"] == {"breaker-rejected": 1,
+                                      "retry-exhausted": 2}
+        assert summary["task_keys"] == [["a"], ["b"], ["c"]]
+
+
+@pytest.mark.chaos
+class TestPermafailScenario:
+    """The chaos CLI scenario: two poisoned tasks land in the DLQ and the
+    campaign completes degraded — deterministically per seed."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos_scenario(SCENARIOS["permafail"], seed=SEED)
+
+    def test_exactly_two_durable_entries(self, report):
+        dlq = report["dlq"]
+        assert dlq["depth"] == 2
+        assert dlq["reasons"] == {"retry-exhausted": 2}
+        assert len(dlq["entries"]) == 2
+        for entry in dlq["entries"]:
+            assert entry["reason"] == "retry-exhausted"
+            assert entry["attempts"] == 3
+            assert "poisoned" in entry["last_error"]
+
+    def test_campaign_completes_degraded(self, report):
+        dlq = report["dlq"]
+        assert dlq["degraded"] is True
+        assert dlq["tasks"] == dlq["computed"] + dlq["dead_lettered"]
+        assert dlq["dead_lettered"] == 2
+        # The non-poisoned cells still produced merged ensembles.
+        assert len(dlq["completed_cells"]) >= 1
+
+    def test_same_seed_runs_bit_identical(self, report):
+        twin = run_chaos_scenario(SCENARIOS["permafail"], seed=SEED)
+        assert canonical_json(twin) == canonical_json(report)
+
+    def test_different_seed_still_two_entries(self):
+        other = run_chaos_scenario(SCENARIOS["permafail"], seed=SEED + 1)
+        assert other["dlq"]["depth"] == 2

@@ -1,0 +1,265 @@
+"""Sharded store: index-driven enumeration, heal/compaction, corrupted
+resume.
+
+The contract under test: :class:`~repro.store.ShardedResultStore` is a
+drop-in :class:`~repro.store.ResultStore` (same records, fingerprints and
+content digest), whose enumeration trusts per-shard INDEX files and only
+rescans shards that changed — and whose ``heal()`` pass rebuilds indexes
+from records, quarantining corruption inside its own shard.
+
+The end-to-end class is the satellite acceptance test: a campaign killed
+mid-flight with one record *and* one shard index corrupted by byte
+truncation must resume, recompute exactly the lost tasks, and land on a
+PMF and canonical run report byte-identical to an uninterrupted control.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignInterrupted, StoreError
+from repro.obs import Obs, campaign_run_report, canonical_run_report
+from repro.store import ResultStore, ShardedResultStore, canonical_json
+from repro.store.index import INDEX_NAME, read_index_lines
+from repro.workflow import SpiceCampaign, build_default_federation
+
+SEED = 2005
+
+
+def make_ensemble(index):
+    """A tiny deterministic WorkEnsemble, distinct per index."""
+    from repro.rng import stream_for
+    from repro.smd.protocol import PullingProtocol
+    from repro.smd.work import WorkEnsemble
+
+    rng = stream_for(SEED, "test", "sharded", index)
+    works = np.zeros((2, 3))
+    works[:, 1:] = rng.normal(5.0, 1.0, size=(2, 2)).cumsum(axis=1)
+    positions = np.tile(np.array([0.0, 1.0, 2.0]), (2, 1))
+    return WorkEnsemble(
+        protocol=PullingProtocol(kappa_pn=100.0, velocity=25.0,
+                                 distance=2.0, equilibration_ns=0.0),
+        displacements=np.array([0.0, 1.0, 2.0]),
+        works=works,
+        positions=positions,
+        temperature=300.0,
+        cpu_hours=0.0,
+    )
+
+
+def make_task(index):
+    return {"kind": "test-sharded", "index": index}
+
+
+def fill(store, n=12):
+    fps = []
+    for i in range(n):
+        fps.append(store.put(make_task(i), make_ensemble(i)))
+    return fps
+
+
+class TestDropInParity:
+    def test_content_digest_matches_flat_store(self, tmp_path):
+        flat = ResultStore(os.fspath(tmp_path / "flat"))
+        sharded = ShardedResultStore(os.fspath(tmp_path / "sharded"))
+        assert fill(flat) == fill(sharded)
+        assert flat.content_digest() == sharded.content_digest()
+        assert flat.fingerprints() == sharded.fingerprints()
+        assert len(flat) == len(sharded) == 12
+
+    def test_roundtrip_returns_identical_ensemble(self, tmp_path):
+        store = ShardedResultStore(os.fspath(tmp_path / "s"))
+        [fp] = fill(store, 1)
+        cached = store.get(fp)
+        expected = make_ensemble(0)
+        np.testing.assert_array_equal(cached.works, expected.works)
+        np.testing.assert_array_equal(cached.positions, expected.positions)
+
+    def test_layouts_refuse_each_other(self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        fill(ShardedResultStore(root), 2)
+        with pytest.raises(StoreError):
+            ResultStore(root)
+        flat_root = os.fspath(tmp_path / "f")
+        fill(ResultStore(flat_root), 2)
+        with pytest.raises(StoreError):
+            ShardedResultStore(flat_root)
+
+
+class TestIndexDrivenEnumeration:
+    def test_every_shard_has_an_index_listing_its_records(self, tmp_path):
+        store = ShardedResultStore(os.fspath(tmp_path / "s"))
+        fps = fill(store)
+        for fp in fps:
+            listed = read_index_lines(
+                os.path.join(store.root, fp[:2], INDEX_NAME))
+            assert fp in listed
+
+    def test_fresh_instance_trusts_clean_indexes(self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        first = ShardedResultStore(root)
+        fill(first)
+        fresh = ShardedResultStore(root)
+        assert fresh.fingerprints() == first.fingerprints()
+        assert fresh.reindexed_shards == 0
+
+    def test_missing_index_rescans_only_that_shard(self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        first = ShardedResultStore(root)
+        fps = fill(first)
+        os.remove(os.path.join(root, fps[0][:2], INDEX_NAME))
+        fresh = ShardedResultStore(root)
+        assert fresh.fingerprints() == first.fingerprints()
+        assert fresh.reindexed_shards == 1
+        # The rescan rewrote the index: the next instance trusts it again.
+        assert ShardedResultStore(root).reindexed_shards == 0
+
+    def test_torn_index_append_is_dropped_not_fatal(self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        store = ShardedResultStore(root)
+        fps = fill(store)
+        index_path = os.path.join(root, fps[0][:2], INDEX_NAME)
+        with open(index_path, "a", encoding="utf-8") as handle:
+            handle.write("deadbeef")  # crash mid-append: no newline
+        listed = read_index_lines(index_path)
+        assert "deadbeef" not in listed
+        assert ShardedResultStore(root).fingerprints() == store.fingerprints()
+
+    def test_eviction_removes_the_index_line(self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        store = ShardedResultStore(root)
+        fps = fill(store)
+        victim = fps[0]
+        path = store.path_for(victim)
+        with open(path, "r+b") as handle:
+            handle.truncate(30)
+        assert store.get(victim) is None  # corrupt -> evicted, miss
+        assert victim not in read_index_lines(
+            os.path.join(root, victim[:2], INDEX_NAME))
+        assert victim not in store.fingerprints()
+
+
+class TestHeal:
+    def test_heal_on_clean_store_is_a_no_op(self, tmp_path):
+        store = ShardedResultStore(os.fspath(tmp_path / "s"))
+        fill(store)
+        report = store.heal()
+        assert report["reindexed"] == []
+        assert report["quarantined"] == []
+        assert report["records"] == 12
+
+    def test_heal_rebuilds_a_deleted_index(self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        store = ShardedResultStore(root)
+        fps = fill(store)
+        shard = fps[0][:2]
+        os.remove(os.path.join(root, shard, INDEX_NAME))
+        report = store.heal()
+        assert shard in report["reindexed"]
+        assert fps[0] in read_index_lines(
+            os.path.join(root, shard, INDEX_NAME))
+
+    def test_deep_heal_quarantines_corrupt_record_in_its_shard(
+            self, tmp_path):
+        root = os.fspath(tmp_path / "s")
+        store = ShardedResultStore(root)
+        fps = fill(store)
+        victim = fps[3]
+        with open(store.path_for(victim), "r+b") as handle:
+            handle.truncate(40)
+        report = store.heal(deep=True)
+        assert report["quarantined"] == [victim]
+        assert os.path.isfile(store.path_for(victim) + ".corrupt")
+        assert victim not in store.fingerprints()
+        # Every other record survived, in every other shard.
+        assert sorted(set(fps) - {victim}) == store.fingerprints()
+
+    def test_stats_report_shards_and_reindexes(self, tmp_path):
+        store = ShardedResultStore(os.fspath(tmp_path / "s"))
+        fill(store)
+        stats = store.stats()
+        assert stats["records"] == 12
+        assert stats["shards"] == len({fp[:2] for fp in store.fingerprints()})
+        assert stats["reindexed_shards"] == 0
+
+
+def run_campaign(store_root, *, interrupt_after=None, replicas=4):
+    """One instrumented campaign against a sharded store."""
+    obs = Obs()
+    federation = build_default_federation(obs=obs)
+    store = ShardedResultStore(store_root, obs=obs)
+    store.interrupt_after_writes = interrupt_after
+    campaign = SpiceCampaign(
+        federation=federation, replicas_per_cell=replicas, seed=SEED,
+        obs=obs, store=store)
+    result = campaign.run()
+    report = campaign_run_report(result, obs, store=store,
+                                 command="campaign", seed=SEED)
+    return result, report, store
+
+
+def canonical_bytes(report):
+    return canonical_json(canonical_run_report(report)).encode()
+
+
+class TestCorruptedResume:
+    """Satellite acceptance: kill + byte-truncate one record and one shard
+    index mid-campaign; the resume recomputes exactly the lost tasks and
+    reproduces the control bit-for-bit."""
+
+    N_DONE = 29
+
+    @pytest.fixture(scope="class")
+    def control(self, tmp_path_factory):
+        root = os.fspath(tmp_path_factory.mktemp("control") / "store")
+        return run_campaign(root)
+
+    @pytest.fixture(scope="class")
+    def resumed(self, tmp_path_factory):
+        root = os.fspath(tmp_path_factory.mktemp("resumed") / "store")
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(root, interrupt_after=self.N_DONE)
+        survivors = ShardedResultStore(root)
+        fps = survivors.fingerprints()
+        assert len(fps) == self.N_DONE
+        # Byte-truncate one durable record and one shard INDEX — disk
+        # corruption the crash-consistency argument does NOT cover (a
+        # truncated index is *ahead* of nothing but *behind* its shard
+        # without any mtime evidence), which is exactly what the heal
+        # pass is for.
+        with open(survivors.path_for(fps[0]), "r+b") as handle:
+            handle.truncate(50)
+        index_path = os.path.join(root, fps[1][:2], INDEX_NAME)
+        with open(index_path, "r+b") as handle:
+            handle.truncate(10)
+        heal_report = ShardedResultStore(root).heal(deep=True)
+        # The truncated record is quarantined; the truncated index (and
+        # the quarantined record's own shard) are rebuilt from records.
+        assert heal_report["quarantined"] == [fps[0]]
+        assert fps[1][:2] in heal_report["reindexed"]
+        return run_campaign(root)
+
+    def test_resume_recomputed_exactly_the_lost_tasks(self, control, resumed):
+        _result, _report, store = resumed
+        n_jobs = len(control[0].batch.jobs)
+        # The quarantined record is a miss the resume recomputes;
+        # everything else the kill left durable is a hit.
+        assert store.stats()["hits"] == self.N_DONE - 1
+        assert store.stats()["misses"] == n_jobs - self.N_DONE + 1
+        assert store.stats()["corrupt_evicted"] == 0
+        assert store.stats()["records"] == n_jobs
+
+    def test_pmf_bit_identical_to_control(self, control, resumed):
+        np.testing.assert_array_equal(
+            control[0].pmf.values, resumed[0].pmf.values)
+        np.testing.assert_array_equal(
+            control[0].pmf.displacements, resumed[0].pmf.displacements)
+
+    def test_canonical_report_byte_identical_to_control(self, control,
+                                                        resumed):
+        assert canonical_bytes(control[1]) == canonical_bytes(resumed[1])
+
+    def test_stores_converge_to_the_same_content(self, control, resumed):
+        assert (control[2].content_digest()
+                == resumed[2].content_digest())
