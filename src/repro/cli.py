@@ -12,7 +12,11 @@ Thin wrappers over the library for the common entry points:
 * ``production`` — the stitched full-axis PMF;
 * ``bench`` — the performance benchmark suite (writes BENCH_*.json);
 * ``chaos`` — a named fault scenario run against the resilient campaign;
-* ``lint`` — the static determinism & invariant checker (repro.lint).
+* ``lint`` — the static determinism & invariant checker (repro.lint);
+* ``serve`` — the campaign service: an HTTP/JSON API over a shared store;
+* ``submit`` — submit a campaign spec to a running service;
+* ``status`` — query a running service for campaign state/results;
+* ``dlq`` — inspect or requeue a store's dead-letter queue.
 
 Commands are rows of a declarative table (:data:`COMMANDS`); each row
 names its flags and a runner returning ``(text, summary)``.  Two global
@@ -455,6 +459,170 @@ def cmd_chaos(args) -> CommandResult:
     return CommandResult(render_chaos_report(result), result)
 
 
+def cmd_serve(args) -> CommandResult:
+    """Run the campaign service until interrupted (Ctrl-C)."""
+    from .errors import ConfigurationError
+    from .obs import Obs
+    from .service import ServiceServer, build_service
+
+    if args.store is None:
+        raise ConfigurationError("serve requires --store DIR")
+    obs = Obs()
+    app = build_service(args.store, tokens_file=args.tokens, obs=obs)
+    server = ServiceServer(app, host=args.host, port=args.port)
+    tokens = "demo tokens" if args.tokens is None else args.tokens
+    # Announce before blocking so wrappers (CI smoke) can wait on the line.
+    print(f"serving campaign API on http://{args.host}:{args.port} "
+          f"(store {args.store}, auth: {tokens})", flush=True)
+    server.run()
+    return CommandResult("server stopped", {
+        "command": "serve",
+        "host": args.host,
+        "port": args.port,
+        "store": args.store,
+        "campaigns": len(app.runner.state.list()),
+    })
+
+
+def _service_client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.url, args.token)
+
+
+def _campaign_lines(doc) -> list:
+    lines = [
+        f"campaign:  {doc['id']}  ({doc['state']})",
+        f"owner:     {doc['user']}",
+        f"spec:      {doc['spec_fingerprint'][:16]}...  "
+        f"{doc['spec']['kind']}, "
+        f"{len(doc['spec']['kappas'])}x{len(doc['spec']['velocities'])} "
+        f"cells, {doc['spec']['n_samples']} samples/cell",
+    ]
+    if doc.get("coalesced_with"):
+        lines.append(f"coalesced: served by {doc['coalesced_with']} "
+                     f"(identical spec, one computation)")
+    if doc.get("result_digest"):
+        lines.append(f"result:    digest {doc['result_digest'][:16]}... "
+                     f"(ETag for GET {doc['links']['result']})")
+    if doc.get("error"):
+        lines.append(f"error:     {doc['error']}")
+    return lines
+
+
+def cmd_submit(args) -> CommandResult:
+    """Submit a spec file to a running service (optionally wait)."""
+    import json as _json
+
+    from .errors import ConfigurationError
+
+    if args.spec is None:
+        raise ConfigurationError(
+            "submit requires --spec FILE ('-' for stdin)")
+    if args.spec == "-":
+        spec = _json.load(sys.stdin)
+    else:
+        try:
+            with open(args.spec, encoding="utf-8") as handle:
+                spec = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read spec file {args.spec!r}: {exc}")
+    client = _service_client(args)
+    doc = client.submit(spec)
+    if args.wait and doc["state"] not in ("completed", "degraded",
+                                          "failed", "cancelled"):
+        doc = client.wait_for(doc["id"])
+    return CommandResult("\n".join(_campaign_lines(doc)), {
+        "command": "submit",
+        "campaign": doc,
+    })
+
+
+def cmd_status(args) -> CommandResult:
+    """Show one campaign (or list all visible ones) on a service."""
+    client = _service_client(args)
+    if args.campaign is None:
+        docs = client.campaigns()
+        if not docs:
+            return CommandResult("no campaigns", {
+                "command": "status", "campaigns": []})
+        width = max(len(d["id"]) for d in docs)
+        lines = [
+            f"{d['id']:<{width}}  {d['state']:<9}  "
+            f"{d['spec_fingerprint'][:12]}  "
+            + (f"-> {d['coalesced_with']}" if d.get("coalesced_with")
+               else f"owner {d['user']}")
+            for d in docs
+        ]
+        return CommandResult("\n".join(lines), {
+            "command": "status", "campaigns": docs})
+    doc = client.campaign(args.campaign)
+    lines = _campaign_lines(doc)
+    summary = {"command": "status", "campaign": doc}
+    if args.result and doc.get("result_digest"):
+        result, etag = client.result(args.campaign)
+        summary["result"] = result
+        lines.append(f"cells:     {result['n_cells']} with PMFs, "
+                     f"{len(result['dead_tasks'])} dead task(s), "
+                     f"degraded: {result['degraded']}")
+    return CommandResult("\n".join(lines), summary)
+
+
+def cmd_dlq(args) -> CommandResult:
+    """Inspect or requeue a store's dead-letter queue (offline).
+
+    ``retry`` marks entries requeued so the next resumed run recomputes
+    them (``repro campaign --store DIR --resume --dlq``, or the service's
+    ``POST .../dlq/retry`` which also re-runs).  Requeueing is idempotent:
+    repeating it is a no-op, and a task that fails again is re-recorded
+    as a redelivery on its existing entry, never duplicated.
+    """
+    import os
+
+    from .errors import ConfigurationError
+    from .resil import DeadLetterQueue
+
+    if args.store is None:
+        raise ConfigurationError("dlq requires --store DIR")
+    path = os.path.join(args.store, "DLQ.jsonl")
+    if not os.path.isfile(path):
+        raise ConfigurationError(f"no dead-letter queue at {path!r}")
+    dlq = DeadLetterQueue(path)
+    if args.action == "retry":
+        selectors = list(args.fingerprint or [])
+        flipped = dlq.requeue(fingerprints=selectors or None)
+        summary = dlq.summary()
+        text = (f"requeued {len(flipped)} task(s); "
+                f"{summary['depth']} still dead, "
+                f"{summary['requeued']} awaiting retry\n"
+                f"replay with: repro campaign --store {args.store} "
+                f"--resume --sharded --dlq")
+        return CommandResult(text, {
+            "command": "dlq",
+            "action": "retry",
+            "requeued": [e["fingerprint"] for e in flipped],
+            "summary": summary,
+        })
+    summary = dlq.summary()
+    lines = [f"dead-letter queue {path}",
+             f"  depth {summary['depth']}  requeued {summary['requeued']}  "
+             f"total {summary['total']}  "
+             f"redeliveries {summary['redeliveries']}"]
+    for entry in dlq.entries():
+        status = "requeued" if entry.get("requeued") else entry["reason"]
+        lines.append(
+            f"  [{status}] {','.join(str(p) for p in entry['task_key'])}  "
+            f"attempts {entry['attempts']}  "
+            f"deliveries {entry.get('deliveries', 1)}")
+    return CommandResult("\n".join(lines), {
+        "command": "dlq",
+        "action": "list",
+        "summary": summary,
+        "entries": dlq.entries(),
+    })
+
+
 COMMANDS: Dict[str, CommandSpec] = {
     spec.name: spec
     for spec in [
@@ -592,6 +760,64 @@ COMMANDS: Dict[str, CommandSpec] = {
                      help="named fault scenario"),
                 _arg("--jobs", type=int, default=72,
                      help="campaign size (paper batch: 72)"),
+            ),
+        ),
+        CommandSpec(
+            "serve", "campaign-as-a-service HTTP API over a shared store",
+            cmd_serve,
+            args=(
+                _arg("--store", default=None, metavar="DIR",
+                     help="sharded result store every campaign memoizes "
+                          "into (created if missing; service state lives "
+                          "under DIR/.service)"),
+                _arg("--host", default="127.0.0.1"),
+                _arg("--port", type=int, default=8750),
+                _arg("--tokens", default=None, metavar="FILE",
+                     help="JSON tokens file (see repro.service.auth); "
+                          "default: fixed demo tokens, laptop use only"),
+            ),
+        ),
+        CommandSpec(
+            "submit", "submit a campaign spec to a running service",
+            cmd_submit,
+            args=(
+                _arg("--url", default="http://127.0.0.1:8750",
+                     help="service base URL"),
+                _arg("--token", default="spice-operator-token",
+                     help="bearer token"),
+                _arg("--spec", default=None, metavar="FILE",
+                     help="campaign spec JSON file ('-' for stdin)"),
+                _arg("--wait", action="store_true",
+                     help="long-poll events until the campaign is "
+                          "terminal"),
+            ),
+        ),
+        CommandSpec(
+            "status", "query a running service for campaign state",
+            cmd_status,
+            args=(
+                _arg("campaign", nargs="?", default=None,
+                     help="campaign id (omit to list all visible)"),
+                _arg("--url", default="http://127.0.0.1:8750",
+                     help="service base URL"),
+                _arg("--token", default="spice-operator-token",
+                     help="bearer token"),
+                _arg("--result", action="store_true",
+                     help="also fetch the result document"),
+            ),
+        ),
+        CommandSpec(
+            "dlq", "inspect or requeue a store's dead-letter queue",
+            cmd_dlq,
+            args=(
+                _arg("action", nargs="?", default="list",
+                     choices=("list", "retry"),
+                     help="list entries, or requeue them for replay"),
+                _arg("--store", default=None, metavar="DIR",
+                     help="store directory holding DLQ.jsonl"),
+                _arg("--fingerprint", action="append", metavar="FP",
+                     help="requeue only this fingerprint (repeatable; "
+                          "default: every active entry)"),
             ),
         ),
     ]

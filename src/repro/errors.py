@@ -25,6 +25,12 @@ __all__ = [
     "StoreError",
     "StoreCorruptionError",
     "CampaignInterrupted",
+    "ServiceError",
+    "SpecError",
+    "AuthenticationError",
+    "AccessDeniedError",
+    "QuotaExceededError",
+    "LifecycleError",
 ]
 
 
@@ -129,6 +135,43 @@ class PermanentTaskFailure(ReproError):
     unrunnable).  The streaming runner and campaign manager do not burn
     the retry budget on it: the task goes straight to the dead-letter
     queue and the campaign completes degraded."""
+
+
+class ServiceError(ReproError):
+    """Base class for campaign-service failures (:mod:`repro.service`).
+
+    Subclasses map 1:1 onto the API's client-error responses, so the HTTP
+    layer never switches on strings: :class:`SpecError` -> 400,
+    :class:`AuthenticationError` -> 401, :class:`AccessDeniedError` -> 403,
+    :class:`QuotaExceededError` -> 429, :class:`LifecycleError` -> 409.
+    """
+
+
+class SpecError(ServiceError):
+    """A submitted campaign spec failed validation (unknown field, wrong
+    type, out-of-range sizing, non-divisible task decomposition)."""
+
+
+class AuthenticationError(ServiceError):
+    """The request carried no credential, or one the token registry does
+    not know.  Maps to HTTP 401."""
+
+
+class AccessDeniedError(ServiceError):
+    """An authenticated principal attempted an action its role or access
+    policy forbids (a viewer submitting, a non-owner cancelling).  Maps to
+    HTTP 403."""
+
+
+class QuotaExceededError(ServiceError):
+    """A submission would exceed the principal's quota (active campaigns,
+    tasks per campaign).  Maps to HTTP 429."""
+
+
+class LifecycleError(ServiceError):
+    """An operation is invalid for the campaign's current lifecycle state
+    (fetching the result of a still-running campaign, cancelling a
+    completed one, an illegal state-machine transition).  Maps to 409."""
 
 
 class LintError(ReproError):

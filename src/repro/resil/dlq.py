@@ -17,6 +17,15 @@ carry no wall-clock fields, so a chaos campaign's DLQ is bit-identical
 across same-seed runs.  Recording is idempotent per task key: a resumed
 campaign that dead-letters the same task again is counted as a
 redelivery, not a duplicate entry.
+
+Requeue (``repro dlq retry``, the service's DLQ-retry endpoint): an entry
+may be marked *requeued*, which removes it from the :meth:`active_entries`
+set the executors treat as terminally failed — the next run recomputes the
+task.  If it succeeds, the entry simply stays requeued (a tombstone with
+its delivery history); if it dead-letters again, :meth:`record` flips it
+back to active and bumps its ``deliveries`` counter instead of appending a
+duplicate, so delivery accounting stays idempotent no matter how many
+requeue/fail cycles a task goes through.
 """
 
 from __future__ import annotations
@@ -124,8 +133,11 @@ class DeadLetterQueue:
         """Dead-letter one task; returns the durable entry.
 
         Idempotent: recording a task whose key is already queued counts a
-        *redelivery* and returns the existing entry unchanged, so resumed
-        campaigns cannot inflate the queue.
+        *redelivery* — for an active entry the existing record is returned
+        unchanged; for a requeued entry (a retried task that failed again)
+        the entry is flipped back to active with its ``deliveries``
+        counter bumped and its failure fields refreshed.  Either way the
+        queue never grows a duplicate line for one task.
         """
         if reason not in _REASONS:
             raise ConfigurationError(
@@ -139,14 +151,29 @@ class DeadLetterQueue:
             "attempts": int(attempts),
             "last_error": str(last_error)[:500],
             "site_history": [str(s) for s in site_history],
+            "deliveries": 1,
+            "requeued": False,
         }
         key = self._dedup_key(entry)
         if key in self._keys:
             self.redeliveries += 1
             self._count("resil.dlq.redelivered")
             for existing in self._entries:
-                if self._dedup_key(existing) == key:
-                    return existing
+                if self._dedup_key(existing) != key:
+                    continue
+                if existing.get("requeued"):
+                    # The retried task failed again: reactivate in place.
+                    existing["requeued"] = False
+                    existing["deliveries"] = \
+                        int(existing.get("deliveries", 1)) + 1
+                    existing["reason"] = reason
+                    existing["attempts"] = int(attempts)
+                    existing["last_error"] = str(last_error)[:500]
+                    self._rewrite()
+                    if self._obs.enabled:
+                        self._obs.metrics.set_gauge(
+                            "resil.dlq.depth", len(self.active_entries()))
+                return existing
         self._append(entry)
         self._entries.append(entry)
         self._keys.add(key)
@@ -155,7 +182,8 @@ class DeadLetterQueue:
             self._obs.event("resil.dlq.record", reason=reason,
                             attempts=int(attempts),
                             task_key=str(list(task_key))[:120])
-            self._obs.metrics.set_gauge("resil.dlq.depth", len(self._entries))
+            self._obs.metrics.set_gauge("resil.dlq.depth",
+                                        len(self.active_entries()))
         return entry
 
     def _append(self, entry: Dict[str, Any]) -> None:
@@ -168,11 +196,70 @@ class DeadLetterQueue:
                 handle.flush()
                 os.fsync(handle.fileno())
 
+    def _rewrite(self) -> None:
+        """Atomically rewrite the whole queue file (requeue/reactivate).
+
+        Uses the store's write-tmp -> fsync -> replace discipline: a crash
+        mid-rewrite leaves the previous file intact, never a torn one.
+        """
+        from ..store.index import atomic_write_text
+
+        atomic_write_text(
+            self.path,
+            "".join(_canonical_line(entry) for entry in self._entries),
+            sync=self._sync)
+
+    # -- requeue ---------------------------------------------------------------
+
+    def requeue(self, *, fingerprints: Optional[Iterable[str]] = None,
+                task_keys: Optional[Iterable[Sequence[Any]]] = None
+                ) -> List[Dict[str, Any]]:
+        """Mark matching active entries requeued; returns those flipped.
+
+        With neither selector, every active entry is requeued.  Entries
+        already requeued (or matching nothing) are skipped, so calling
+        this twice — an operator retrying a retry, the service endpoint
+        being replayed — is a no-op the second time: redelivery accounting
+        only moves when :meth:`record` sees the task actually fail again.
+        The rewrite is atomic and durable before this returns.
+        """
+        wanted: Optional[set] = None
+        if fingerprints is not None or task_keys is not None:
+            wanted = {str(f) for f in (fingerprints or ())}
+            wanted.update(
+                json.dumps(_task_key_list(k), sort_keys=True)
+                for k in (task_keys or ()))
+        flipped: List[Dict[str, Any]] = []
+        for entry in self._entries:
+            if entry.get("requeued"):
+                continue
+            if wanted is not None and self._dedup_key(entry) not in wanted:
+                continue
+            entry["requeued"] = True
+            entry.setdefault("deliveries", 1)
+            flipped.append(entry)
+        if flipped:
+            self._rewrite()
+            self._count("resil.dlq.requeued", len(flipped))
+            if self._obs.enabled:
+                self._obs.metrics.set_gauge(
+                    "resil.dlq.depth", len(self.active_entries()))
+        return flipped
+
     # -- introspection ---------------------------------------------------------
 
     def entries(self) -> List[Dict[str, Any]]:
-        """All queued entries, in append order."""
+        """All queued entries, in append order (requeued ones included)."""
         return list(self._entries)
+
+    def active_entries(self) -> List[Dict[str, Any]]:
+        """Entries still terminally failed — the set executors must treat
+        as dead.  Requeued entries are excluded (eligible to recompute)."""
+        return [e for e in self._entries if not e.get("requeued")]
+
+    def requeued_entries(self) -> List[Dict[str, Any]]:
+        """Entries handed back for another attempt and not failed since."""
+        return [e for e in self._entries if e.get("requeued")]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -186,20 +273,28 @@ class DeadLetterQueue:
         return False
 
     def summary(self) -> Dict[str, Any]:
-        """Report-ready view: depth, reasons histogram, task keys."""
+        """Report-ready view: depth, reasons histogram, task keys.
+
+        ``depth``/``reasons``/``task_keys`` cover the *active* entries
+        (what is terminally failed right now); ``requeued`` counts entries
+        handed back for retry, and ``total`` is every line in the file.
+        """
+        active = self.active_entries()
         reasons: Dict[str, int] = {}
-        for entry in self._entries:
+        for entry in active:
             reasons[entry["reason"]] = reasons.get(entry["reason"], 0) + 1
         return {
-            "depth": len(self._entries),
+            "depth": len(active),
             "reasons": {k: reasons[k] for k in sorted(reasons)},
-            "task_keys": [entry["task_key"] for entry in self._entries],
+            "task_keys": [entry["task_key"] for entry in active],
             "redeliveries": self.redeliveries,
+            "requeued": len(self._entries) - len(active),
+            "total": len(self._entries),
         }
 
-    def _count(self, name: str) -> None:
+    def _count(self, name: str, amount: int = 1) -> None:
         if self._obs.enabled:
-            self._obs.metrics.inc(name)
+            self._obs.metrics.inc(name, amount)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DeadLetterQueue({self.path!r}, depth={len(self)})"

@@ -181,9 +181,11 @@ class ShardIndexCache:
         self._cache: Dict[str, Tuple[Optional[Tuple[int, int]], List[str]]] = {}
 
     def invalidate(self, shard_id: str) -> None:
+        """Forget one shard (after this process rewrote its INDEX)."""
         self._cache.pop(shard_id, None)
 
     def clear(self) -> None:
+        """Forget everything; the next load re-stats every shard."""
         self._cache.clear()
 
     def load(self, root: str, shard_id: str) -> Tuple[List[str], bool]:

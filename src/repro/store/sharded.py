@@ -207,6 +207,7 @@ class ShardedResultStore(ResultStore):
     # -- introspection ---------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
+        """The base counters plus shard count and heal/reindex activity."""
         out = super().stats()
         out["shards"] = len(scan_shard_ids(self.root))
         out["reindexed_shards"] = self.reindexed_shards

@@ -138,6 +138,7 @@ class StreamCursor:
         return watermark
 
     def save(self, watermark: int) -> None:
+        """Atomically persist the watermark (fsync'd unless sync=False)."""
         from ..store.fingerprint import canonical_json
         from ..store.index import atomic_write_text
 
@@ -170,10 +171,12 @@ class StreamReport:
 
     @property
     def resolved(self) -> int:
+        """Tasks accounted for without fresh failure, however resolved."""
         return self.skipped_prefix + self.hits + self.computed
 
     @property
     def degraded(self) -> bool:
+        """True when any task in the pass is dead-lettered (old or new)."""
         return bool(self.failures)
 
 
@@ -301,7 +304,11 @@ def run_streamed_tasks(
     known = set(store.fingerprints())
     dead: set = set()
     if dlq is not None:
-        dead = {entry.get("fingerprint") for entry in dlq.entries()
+        # Only *active* entries are terminal; requeued ones (handed back
+        # by `repro dlq retry` / the service's retry endpoint) must be
+        # recomputed, so they stay out of the dead set.
+        listing = getattr(dlq, "active_entries", dlq.entries)
+        dead = {entry.get("fingerprint") for entry in listing()
                 if entry.get("fingerprint")}
 
     pending: List[StreamTask] = []

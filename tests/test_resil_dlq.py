@@ -133,3 +133,130 @@ class TestPermafailScenario:
     def test_different_seed_still_two_entries(self):
         other = run_chaos_scenario(SCENARIOS["permafail"], seed=SEED + 1)
         assert other["dlq"]["depth"] == 2
+
+
+class TestRequeue:
+    """The requeue/replay half of the queue: `repro dlq retry` and the
+    service's DLQ-retry endpoint ride on these semantics."""
+
+    def _seed(self, path):
+        dlq = DeadLetterQueue(path)
+        dlq.record(task_key=("a", 1), reason="retry-exhausted", attempts=3,
+                   last_error="boom", fingerprint="fp-a")
+        dlq.record(task_key=("b", 2), reason="permanent-failure", attempts=1,
+                   last_error="poisoned", fingerprint="fp-b")
+        return dlq
+
+    def test_requeue_all_empties_the_active_set(self, tmp_path):
+        dlq = self._seed(os.fspath(tmp_path / "DLQ.jsonl"))
+        flipped = dlq.requeue()
+        assert [e["fingerprint"] for e in flipped] == ["fp-a", "fp-b"]
+        assert dlq.active_entries() == []
+        assert len(dlq.requeued_entries()) == 2
+        assert len(dlq) == 2  # entries are tombstoned, never deleted
+
+    def test_requeue_by_fingerprint_is_selective(self, tmp_path):
+        dlq = self._seed(os.fspath(tmp_path / "DLQ.jsonl"))
+        flipped = dlq.requeue(fingerprints=["fp-b", "fp-unknown"])
+        assert [e["fingerprint"] for e in flipped] == ["fp-b"]
+        assert [e["fingerprint"] for e in dlq.active_entries()] == ["fp-a"]
+
+    def test_requeue_by_task_key(self, tmp_path):
+        path = os.fspath(tmp_path / "DLQ.jsonl")
+        dlq = DeadLetterQueue(path)
+        dlq.record(task_key=("a", 1), reason="unplaceable", attempts=5,
+                   last_error="no site")  # no fingerprint: keyed by task
+        assert len(dlq.requeue(task_keys=[("a", 1)])) == 1
+        assert dlq.active_entries() == []
+
+    def test_requeue_is_idempotent(self, tmp_path):
+        dlq = self._seed(os.fspath(tmp_path / "DLQ.jsonl"))
+        assert len(dlq.requeue()) == 2
+        assert dlq.requeue() == []  # replayed retry: nothing to flip
+        assert dlq.summary()["requeued"] == 2
+
+    def test_requeue_survives_reload(self, tmp_path):
+        path = os.fspath(tmp_path / "DLQ.jsonl")
+        dlq = self._seed(path)
+        dlq.requeue(fingerprints=["fp-a"])
+        reloaded = DeadLetterQueue(path)
+        assert [e["fingerprint"] for e in reloaded.active_entries()] \
+            == ["fp-b"]
+        assert reloaded.requeued_entries()[0]["fingerprint"] == "fp-a"
+
+    def test_record_after_requeue_reactivates_in_place(self, tmp_path):
+        path = os.fspath(tmp_path / "DLQ.jsonl")
+        dlq = self._seed(path)
+        dlq.requeue(fingerprints=["fp-b"])
+        entry = dlq.record(task_key=("b", 2), reason="retry-exhausted",
+                           attempts=3, last_error="still failing",
+                           fingerprint="fp-b")
+        assert entry["requeued"] is False
+        assert entry["deliveries"] == 2
+        assert entry["reason"] == "retry-exhausted"  # refreshed
+        assert entry["last_error"] == "still failing"
+        assert len(dlq) == 2  # reactivated, not duplicated
+        assert dlq.redeliveries == 1
+        # Durable: the reload sees the bumped delivery accounting.
+        reborn = DeadLetterQueue(path)
+        fp_b = [e for e in reborn.entries()
+                if e["fingerprint"] == "fp-b"][0]
+        assert fp_b["deliveries"] == 2 and fp_b["requeued"] is False
+
+    def test_record_on_active_entry_leaves_deliveries_alone(self, tmp_path):
+        dlq = self._seed(os.fspath(tmp_path / "DLQ.jsonl"))
+        entry = dlq.record(task_key=("a", 1), reason="retry-exhausted",
+                           attempts=3, last_error="boom",
+                           fingerprint="fp-a")
+        # Plain resume-path redelivery (never requeued): counted on the
+        # queue, not on the entry.
+        assert entry["deliveries"] == 1
+        assert dlq.redeliveries == 1
+
+    def test_summary_separates_active_from_requeued(self, tmp_path):
+        dlq = self._seed(os.fspath(tmp_path / "DLQ.jsonl"))
+        dlq.requeue(fingerprints=["fp-a"])
+        summary = dlq.summary()
+        assert summary["depth"] == 1
+        assert summary["reasons"] == {"permanent-failure": 1}
+        assert summary["task_keys"] == [["b", 2]]
+        assert summary["requeued"] == 1
+        assert summary["total"] == 2
+
+    def test_streaming_executor_recomputes_requeued_tasks(self, tmp_path):
+        """active_entries() is the executors' dead set: a requeued task is
+        recomputed on the next run instead of being skipped as dead."""
+        from repro.pore import (
+            ReducedTranslocationModel,
+            default_reduced_potential,
+        )
+        from repro.smd import PullingProtocol
+        from repro.store import ResultStore
+        from repro.workflow.streaming import run_streamed_study
+
+        model = ReducedTranslocationModel(default_reduced_potential())
+        protocols = [PullingProtocol(kappa_pn=0.1, velocity=12.5)]
+        store = ResultStore(os.fspath(tmp_path / "store"), sync=False)
+        dlq = DeadLetterQueue(os.fspath(tmp_path / "DLQ.jsonl"))
+
+        def poison(task, attempt):
+            from repro.errors import PermanentTaskFailure
+
+            raise PermanentTaskFailure("poisoned")
+
+        merged, report = run_streamed_study(
+            model, protocols, n_samples=2, samples_per_task=2, seed=SEED,
+            store=store, dlq=dlq, fault=poison, n_records=9)
+        assert report.dead_lettered == 1 and merged == {}
+        # Without a requeue, the dead set keeps the task skipped...
+        merged, report = run_streamed_study(
+            model, protocols, n_samples=2, samples_per_task=2, seed=SEED,
+            store=store, dlq=dlq, n_records=9)
+        assert report.dead_lettered == 1 and merged == {}
+        # ...and after a requeue the same run recomputes it cleanly.
+        dlq.requeue()
+        merged, report = run_streamed_study(
+            model, protocols, n_samples=2, samples_per_task=2, seed=SEED,
+            store=store, dlq=dlq, n_records=9)
+        assert report.computed == 1 and len(merged) == 1
+        assert dlq.summary()["depth"] == 0

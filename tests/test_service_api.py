@@ -1,0 +1,427 @@
+"""The sans-IO API core, end to end: submission through result fetch,
+coalescing against the shared store, conditional GETs, cancellation
+mid-stream, event streaming and the DLQ retry loop — all without sockets.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.errors import PermanentTaskFailure
+from repro.obs import Obs
+from repro.service import (
+    AuthRegistry,
+    CampaignRunner,
+    Principal,
+    Request,
+    ServiceApp,
+    ServiceState,
+    build_service,
+)
+from repro.store import ShardedResultStore
+
+OPERATOR = "spice-operator-token"
+ADMIN = "spice-admin-token"
+
+SPEC = {"kappas": [0.1], "velocities": [12.5], "n_samples": 4,
+        "samples_per_task": 2, "n_records": 9}
+
+
+def _post(path, token=OPERATOR, body=None, headers=None):
+    merged = {"authorization": f"Bearer {token}"}
+    merged.update(headers or {})
+    return Request("POST", path, headers=merged,
+                   body=json.dumps(SPEC if body is None else body).encode())
+
+
+def _get(path, token=OPERATOR, query=None, headers=None):
+    merged = {"authorization": f"Bearer {token}"}
+    merged.update(headers or {})
+    return Request("GET", path, query=query or {}, headers=merged)
+
+
+@pytest.fixture
+def app(tmp_path):
+    service = build_service(os.fspath(tmp_path / "store"), inline=True,
+                            sync=False, obs=Obs())
+    yield service
+    service.runner.close()
+
+
+class TestSubmitToResult:
+    def test_submit_completes_and_serves_the_pmf(self, app):
+        created = app.handle(_post("/v1/campaigns"))
+        assert created.status == 201
+        doc = created.json()
+        cid = doc["id"]
+        assert created.headers["Location"] == f"/v1/campaigns/{cid}"
+        assert doc["state"] == "completed"  # inline runner: synchronous
+        assert doc["coalesced_with"] is None
+        assert doc["links"]["result"] == f"/v1/campaigns/{cid}/result"
+
+        fetched = app.handle(_get(f"/v1/campaigns/{cid}/result"))
+        assert fetched.status == 200
+        result = fetched.json()
+        assert result["schema"] == "repro.service.result/v1"
+        assert result["n_cells"] == 1 and result["n_tasks"] == 2
+        assert result["degraded"] is False and result["dead_tasks"] == []
+        cell = result["cells"][0]
+        assert cell["kappa_pn"] == 0.1 and cell["velocity"] == 12.5
+        assert len(cell["pmf"]) == len(cell["displacements"]) > 0
+        assert cell["n_samples"] == SPEC["n_samples"]
+        assert fetched.headers["ETag"] == f'"{result["content_digest"]}"'
+        refreshed = app.handle(_get(f"/v1/campaigns/{cid}")).json()
+        assert refreshed["result_digest"] == result["content_digest"]
+
+    def test_etag_304_round_trip(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        first = app.handle(_get(f"/v1/campaigns/{cid}/result"))
+        etag = first.headers["ETag"]
+        second = app.handle(_get(f"/v1/campaigns/{cid}/result",
+                                 headers={"if-none-match": etag}))
+        assert second.status == 304
+        assert second.body == b""
+        assert second.headers["ETag"] == etag
+        assert app.obs.metrics.counter(
+            "service.http.not_modified").value == 1
+        # A stale ETag still gets the full document.
+        stale = app.handle(_get(f"/v1/campaigns/{cid}/result",
+                                headers={"If-None-Match": '"old"'}))
+        assert stale.status == 200
+
+    def test_result_of_nonterminal_campaign_is_409(self, tmp_path):
+        gate = threading.Event()
+        service = build_service(
+            os.fspath(tmp_path / "store"), sync=False,
+            task_fault=lambda cid, task, n: gate.wait(10))
+        try:
+            cid = service.handle(_post("/v1/campaigns")).json()["id"]
+            response = service.handle(_get(f"/v1/campaigns/{cid}/result"))
+            assert response.status == 409
+            assert response.json()["error"]["code"] == "conflict"
+        finally:
+            gate.set()
+            service.runner.close()
+
+    def test_identical_resubmission_is_a_result_cache_hit(self, app):
+        first = app.handle(_post("/v1/campaigns")).json()
+        store = app.runner.store
+        writes_before = store.writes
+        second = app.handle(_post("/v1/campaigns"))
+        assert second.status == 200  # not 201: nothing new was created
+        doc = second.json()
+        assert doc["coalesced_with"] == first["id"]
+        assert doc["state"] == "completed"
+        assert store.writes == writes_before  # zero store traffic
+        assert app.obs.metrics.counter(
+            "service.campaigns.cache_hits").value == 1
+        # Both ids serve byte-identical results.
+        a = app.handle(_get(f"/v1/campaigns/{first['id']}/result"))
+        b = app.handle(_get(f"/v1/campaigns/{doc['id']}/result"))
+        assert a.body == b.body and a.headers["ETag"] == b.headers["ETag"]
+
+    def test_kernel_and_window_do_not_change_identity(self, app):
+        first = app.handle(_post("/v1/campaigns")).json()
+        other = dict(SPEC, kernel="reference", window=4)
+        second = app.handle(_post("/v1/campaigns", body=other)).json()
+        assert second["coalesced_with"] == first["id"]
+
+
+class TestConcurrentSubmissions:
+    def test_two_clients_one_computation(self, tmp_path):
+        """The acceptance check: two concurrent identical submissions
+        produce exactly one set of store writes and bit-identical PMFs."""
+        release = threading.Event()
+        obs = Obs()
+        store = ShardedResultStore(os.fspath(tmp_path / "store"), obs,
+                                   sync=False)
+        state = ServiceState(os.path.join(store.root, ".service"),
+                             sync=False)
+        runner = CampaignRunner(
+            store, state, obs=obs,
+            task_fault=lambda cid, task, n: release.wait(10))
+        app = ServiceApp(runner, AuthRegistry.demo(), obs=obs)
+        app.registry._tokens["other-token"] = Principal("bob", "operator")
+        try:
+            first = app.handle(_post("/v1/campaigns", OPERATOR)).json()
+            assert first["state"] in ("pending", "running")
+            # Second tenant submits the same physics mid-run.
+            second = app.handle(_post("/v1/campaigns", "other-token"))
+            assert second.status == 200
+            doc = second.json()
+            assert doc["coalesced_with"] == first["id"]
+            assert doc["state"] == "running"
+        finally:
+            release.set()
+            runner.close()
+
+        spec_tasks = 2  # 1 cell x (4 samples / 2 per task)
+        assert store.writes == spec_tasks
+        assert store.misses == spec_tasks and store.hits == 0
+        assert len(store) == spec_tasks
+        assert obs.metrics.counter("service.campaigns.coalesced").value == 1
+
+        a = app.handle(_get(f"/v1/campaigns/{first['id']}/result", OPERATOR))
+        b = app.handle(_get(f"/v1/campaigns/{doc['id']}/result",
+                            "other-token"))
+        assert a.status == b.status == 200
+        assert a.body == b.body
+        assert a.headers["ETag"] == b.headers["ETag"]
+        assert app.handle(
+            _get(f"/v1/campaigns/{first['id']}", OPERATOR)
+        ).json()["state"] == "completed"
+        assert app.handle(
+            _get(f"/v1/campaigns/{doc['id']}", "other-token")
+        ).json()["state"] == "completed"
+
+    def test_follower_cancel_leaves_primary_running(self, tmp_path):
+        release = threading.Event()
+        service = build_service(
+            os.fspath(tmp_path / "store"), sync=False,
+            task_fault=lambda cid, task, n: release.wait(10))
+        try:
+            first = service.handle(_post("/v1/campaigns")).json()
+            follower = service.handle(_post("/v1/campaigns")).json()
+            assert follower["coalesced_with"] == first["id"]
+            cancelled = service.handle(
+                _post(f"/v1/campaigns/{follower['id']}/cancel", body={}))
+            assert cancelled.status == 202
+            assert cancelled.json()["state"] == "cancelled"
+        finally:
+            release.set()
+            service.runner.close()
+        assert service.handle(
+            _get(f"/v1/campaigns/{first['id']}")).json()["state"] \
+            == "completed"
+        assert service.handle(
+            _get(f"/v1/campaigns/{follower['id']}")).json()["state"] \
+            == "cancelled"
+
+
+class TestCancellation:
+    def test_cancel_mid_stream_leaves_store_consistent(self, tmp_path):
+        """Cancel lands on a task boundary: durable records stay valid
+        cache entries, and an identical resubmission resumes from them."""
+        reached = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def fault(cid, task, attempt):
+            calls.append(task)
+            if len(calls) == 2:
+                reached.set()
+                release.wait(10)
+
+        spec = dict(SPEC, n_samples=6)  # 3 tasks
+        service = build_service(os.fspath(tmp_path / "store"), sync=False,
+                                task_fault=fault)
+        store = service.runner.store
+        cid = service.handle(_post("/v1/campaigns", body=spec)).json()["id"]
+        assert reached.wait(10)  # worker holds before task 2's compute
+        response = service.handle(
+            _post(f"/v1/campaigns/{cid}/cancel", body={}))
+        assert response.status == 202
+        release.set()
+        service.runner.close()
+
+        doc = service.handle(_get(f"/v1/campaigns/{cid}")).json()
+        assert doc["state"] == "cancelled"
+        assert doc["result_digest"] is None
+        # Two tasks crossed their boundary before the cancel landed; both
+        # records are durable and the store scan-checks clean.
+        assert store.writes == 2 and len(store) == 2
+        assert len(store.fingerprints()) == 2
+        result = service.handle(_get(f"/v1/campaigns/{cid}/result"))
+        assert result.status == 409
+
+        # The same spec resubmitted becomes a FRESH primary (cancelled
+        # runs are never coalesced onto) and resumes via store hits.
+        service.runner.task_fault = None
+        resubmit = service.handle(_post("/v1/campaigns", body=spec))
+        assert resubmit.status == 201
+        service.runner.close()
+        done = service.handle(
+            _get(f"/v1/campaigns/{resubmit.json()['id']}")).json()
+        assert done["state"] == "completed"
+        assert store.writes == 3 and store.hits == 2
+
+    def test_cancel_terminal_campaign_is_409(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        response = app.handle(_post(f"/v1/campaigns/{cid}/cancel", body={}))
+        assert response.status == 409
+
+
+class TestEvents:
+    def test_event_log_tells_the_campaign_story(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        response = app.handle(_get(f"/v1/campaigns/{cid}/events"))
+        assert response.status == 200
+        assert response.headers["Content-Type"] == "application/jsonl"
+        events = [json.loads(line)
+                  for line in response.text.splitlines() if line]
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "state" and "progress" in kinds
+        assert events[-1] == {"kind": "state", "seq": len(events),
+                              "state": "completed",
+                              "detail": "2 task(s), 0 dead-lettered"}
+        progress = [e for e in events if e["kind"] == "progress"]
+        assert progress[-1]["resolved"] == progress[-1]["total"] == 2
+
+    def test_since_filters_and_wait_returns_on_terminal(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        all_events = app.handle(
+            _get(f"/v1/campaigns/{cid}/events")).text.splitlines()
+        last = json.loads(all_events[-1])["seq"]
+        tail = app.handle(_get(f"/v1/campaigns/{cid}/events",
+                               query={"since": str(last - 1)}))
+        assert len(tail.text.splitlines()) == 1
+        # wait=1 on a drained terminal campaign returns empty immediately
+        # instead of blocking out the long-poll timeout.
+        empty = app.handle(_get(f"/v1/campaigns/{cid}/events",
+                                query={"since": str(last), "wait": "1"}))
+        assert empty.text == ""
+
+    def test_stream_drains_to_the_same_lines(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        plain = app.handle(_get(f"/v1/campaigns/{cid}/events")).body
+        streamed = app.handle(_get(f"/v1/campaigns/{cid}/events",
+                                   query={"stream": "1"}))
+        assert streamed.status == 200
+        assert streamed.stream is not None
+        assert b"".join(streamed.stream) == plain
+
+    def test_bad_since_is_400(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        response = app.handle(_get(f"/v1/campaigns/{cid}/events",
+                                   query={"since": "soon"}))
+        assert response.status == 400
+
+
+class TestDlqRetry:
+    SPEC2 = {"kappas": [0.1, 0.2], "velocities": [12.5], "n_samples": 2,
+             "samples_per_task": 2, "n_records": 9}
+    POISONED = ("cell", 200, 12500)  # the kappa=0.2 cell's label
+
+    def test_degraded_campaign_retries_to_completion(self, tmp_path):
+        poison = {"on": True}
+
+        def fault(cid, task, attempt):
+            if poison["on"] and task.cell == self.POISONED:
+                raise PermanentTaskFailure("injected pore collapse")
+
+        service = build_service(os.fspath(tmp_path / "store"), inline=True,
+                                sync=False, obs=Obs(), task_fault=fault)
+        cid = service.handle(
+            _post("/v1/campaigns", body=self.SPEC2)).json()["id"]
+        doc = service.handle(_get(f"/v1/campaigns/{cid}")).json()
+        assert doc["state"] == "degraded"
+
+        degraded = service.handle(
+            _get(f"/v1/campaigns/{cid}/result")).json()
+        assert degraded["degraded"] is True
+        assert degraded["n_cells"] == 1 and len(degraded["dead_tasks"]) == 1
+        old_etag = f'"{degraded["content_digest"]}"'
+
+        listed = service.handle(_get(f"/v1/campaigns/{cid}/dlq")).json()
+        assert listed["depth"] == 1 and len(listed["entries"]) == 1
+        assert listed["entries"][0]["reason"] == "permanent-failure"
+
+        # Heal the fault, then retry: requeued task recomputes, healthy
+        # task is a store hit, result document is rebuilt clean.
+        poison["on"] = False
+        retried = service.handle(
+            _post(f"/v1/campaigns/{cid}/dlq/retry", body={}))
+        assert retried.status == 202
+        doc = service.handle(_get(f"/v1/campaigns/{cid}")).json()
+        assert doc["state"] == "completed"
+        healed = service.handle(_get(f"/v1/campaigns/{cid}/result"))
+        assert healed.status == 200
+        fresh = healed.json()
+        assert fresh["degraded"] is False and fresh["n_cells"] == 2
+        assert healed.headers["ETag"] != old_etag  # dead set changed
+        # Conditional GET with the stale degraded-era ETag refetches.
+        assert service.handle(
+            _get(f"/v1/campaigns/{cid}/result",
+                 headers={"If-None-Match": old_etag})).status == 200
+
+        after = service.handle(_get(f"/v1/campaigns/{cid}/dlq")).json()
+        assert after["depth"] == 0
+        assert after["entries"][0]["requeued"] is True
+        assert service.obs.metrics.counter(
+            "service.dlq.requeued").value == 1
+        service.runner.close()
+
+    def test_retry_on_non_degraded_campaign_is_409(self, app):
+        cid = app.handle(_post("/v1/campaigns")).json()["id"]
+        response = app.handle(
+            _post(f"/v1/campaigns/{cid}/dlq/retry", body={}))
+        assert response.status == 409
+        assert "degraded" in response.json()["error"]["message"]
+
+    def test_dlq_view_is_scoped_to_the_campaign(self, tmp_path):
+        poison = {"on": True}
+
+        def fault(cid, task, attempt):
+            if poison["on"] and task.cell == self.POISONED:
+                raise PermanentTaskFailure("injected")
+
+        service = build_service(os.fspath(tmp_path / "store"), inline=True,
+                                sync=False, task_fault=fault)
+        bad = service.handle(
+            _post("/v1/campaigns", body=self.SPEC2)).json()["id"]
+        poison["on"] = False
+        clean = service.handle(_post("/v1/campaigns")).json()["id"]
+        assert service.handle(
+            _get(f"/v1/campaigns/{bad}/dlq")).json()["depth"] == 1
+        # The healthy campaign shares the queue file but sees none of it.
+        assert service.handle(
+            _get(f"/v1/campaigns/{clean}/dlq")).json() == {
+                "campaign": clean, "depth": 0, "entries": []}
+        service.runner.close()
+
+
+class TestRoutingAndMetrics:
+    def test_unknown_path_and_method_mismatch_are_404(self, app):
+        assert app.handle(_get("/v1/nope")).status == 404
+        assert app.handle(
+            Request("DELETE", "/v1/campaigns",
+                    headers={"authorization": f"Bearer {OPERATOR}"})
+        ).status == 404
+
+    def test_healthz_reports_campaign_count(self, app):
+        assert app.handle(_get("/v1/healthz")).json()["campaigns"] == 0
+        app.handle(_post("/v1/campaigns"))
+        assert app.handle(_get("/v1/healthz")).json()["campaigns"] == 1
+
+    def test_metrics_surface_service_store_and_dlq(self, app):
+        app.handle(_post("/v1/campaigns"))
+        doc = app.handle(_get("/v1/metrics", ADMIN)).json()
+        assert doc["service"]["service.campaigns.submitted"] == 1
+        assert doc["service"]["service.campaigns.completed"] == 1
+        assert doc["store"]["writes"] == 2
+        assert doc["store"]["records"] == 2
+        assert doc["dlq"]["depth"] == 0
+
+    def test_run_report_includes_the_service_family(self, app):
+        from repro.obs.report import _service_stats, render_run_report
+
+        app.handle(_post("/v1/campaigns"))
+        app.handle(_get("/v1/campaigns"))
+        section = _service_stats(app.obs)
+        campaigns = section["campaigns"]
+        assert campaigns["submitted"] == 1 and campaigns["completed"] == 1
+        assert section["http"]["requests"] >= 2
+        rendered = render_run_report({"service": section})
+        assert "service:" in rendered and "submitted=1" in rendered
+        # A run that never touched the service keeps its report compact.
+        assert _service_stats(Obs()) == {}
+
+    def test_list_orders_campaigns_by_id(self, app):
+        first = app.handle(_post("/v1/campaigns")).json()["id"]
+        second = app.handle(_post(
+            "/v1/campaigns", body=dict(SPEC, kappas=[0.3]))).json()["id"]
+        listed = app.handle(_get("/v1/campaigns")).json()["campaigns"]
+        assert [c["id"] for c in listed] == [first, second]

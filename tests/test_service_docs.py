@@ -1,0 +1,102 @@
+"""docs/API.md is a generated artifact: regenerating it must reproduce
+the committed bytes exactly, and the committed reference must cover
+every route the service actually exposes."""
+
+import importlib.util
+import json
+import os
+import re
+
+import pytest
+
+from repro.obs import Obs
+from repro.service import build_service
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+API_MD = os.path.join(REPO, "docs", "API.md")
+TRANSCRIPTS = os.path.join(REPO, "docs", "api-transcripts.json")
+
+
+@pytest.fixture(scope="module")
+def make_api_docs():
+    spec = importlib.util.spec_from_file_location(
+        "make_api_docs", os.path.join(REPO, "tools", "make_api_docs.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def generated(make_api_docs):
+    return make_api_docs.generate()
+
+
+class TestRegeneration:
+    def test_api_md_matches_committed_bytes(self, generated):
+        with open(API_MD, encoding="utf-8") as handle:
+            assert handle.read() == generated[0], (
+                "docs/API.md is stale — regenerate with "
+                "`PYTHONPATH=src python tools/make_api_docs.py`")
+
+    def test_transcripts_match_committed_bytes(self, generated):
+        with open(TRANSCRIPTS, encoding="utf-8") as handle:
+            assert handle.read() == generated[1]
+
+    def test_generation_is_deterministic(self, make_api_docs, generated):
+        assert make_api_docs.generate() == generated
+
+
+class TestCoverage:
+    def test_every_route_is_documented(self, tmp_path):
+        """Adding an endpoint without documenting it must fail CI."""
+        app = build_service(os.fspath(tmp_path / "store"), inline=True,
+                            sync=False, obs=Obs())
+        app.runner.close()
+        with open(API_MD, encoding="utf-8") as handle:
+            text = handle.read()
+        # Turn each documented sample's request line into (method, parts)
+        # with campaign ids re-abstracted to the {id} placeholder.
+        documented = set()
+        for method, target in re.findall(
+                r"^(GET|POST|PUT|DELETE) (/\S+) HTTP/1\.1$", text, re.M):
+            path = target.split("?", 1)[0]
+            parts = tuple("{id}" if re.fullmatch(r"c-\d{6}", p) else p
+                          for p in path.split("/") if p)
+            documented.add((method, parts))
+        for method, route, _handler in app._routes:
+            assert (method, route) in documented, (
+                f"{method} /{'/'.join(route)} is not documented in "
+                f"docs/API.md — add it to tools/make_api_docs.py")
+
+    def test_every_error_status_has_a_sample(self):
+        with open(TRANSCRIPTS, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        statuses = {e["response"]["status"] for e in doc["exchanges"]}
+        assert {200, 201, 202, 304, 400, 401, 403, 404, 409} <= statuses
+
+    def test_transcripts_carry_no_ephemeral_paths(self):
+        """The capture runs against a tempdir store; none of that may
+        leak into the committed artifact."""
+        with open(TRANSCRIPTS, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "/tmp" not in text
+        assert "store_root" not in text
+
+    def test_samples_show_the_coalescing_and_etag_contracts(self):
+        with open(TRANSCRIPTS, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        by_title = {e["title"]: e for e in doc["exchanges"]}
+
+        resubmit = by_title["Resubmit an identical spec"]
+        assert resubmit["response"]["status"] == 200
+        body = json.loads(resubmit["response"]["body"])
+        assert body["coalesced_with"] == "c-000001"
+
+        result = by_title["Fetch the result"]
+        etag = result["response"]["headers"]["ETag"]
+        digest = json.loads(result["response"]["body"])["content_digest"]
+        assert etag == f'"{digest}"'
+        conditional = by_title["Conditional fetch (ETag round-trip)"]
+        assert conditional["request"]["headers"]["If-None-Match"] == etag
+        assert conditional["response"]["status"] == 304
+        assert conditional["response"]["body"] == ""
