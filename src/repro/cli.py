@@ -13,6 +13,8 @@ Thin wrappers over the library for the common entry points:
 * ``bench`` — the performance benchmark suite (writes BENCH_*.json);
 * ``chaos`` — a named fault scenario run against the resilient campaign;
 * ``lint`` — the static determinism & invariant checker (repro.lint);
+* ``sanitize-report`` — the runtime lock-order sanitizer: exercise the
+  instrumented primitives (or validate a captured report) and render it;
 * ``serve`` — the campaign service: an HTTP/JSON API over a shared store;
 * ``submit`` — submit a campaign spec to a running service;
 * ``status`` — query a running service for campaign state/results;
@@ -444,8 +446,91 @@ def cmd_lint(args) -> CommandResult:
     result = lint_paths(args.paths, select=select, ignore=ignore,
                         baseline=args.baseline, obs=Obs())
     report = build_lint_report(result, args.paths, select, ignore)
-    return CommandResult(render_text_report(result), report,
-                         exit_code=0 if result.clean else 1)
+    text = render_text_report(result)
+    exit_code = 0 if result.clean else 1
+    if args.strict_baseline and result.baseline_unused:
+        # Stale baseline entries normally only warn; under the CI gate
+        # they fail, so fixed findings get their suppressions removed.
+        text += (f"\nerror: {len(result.baseline_unused)} stale baseline "
+                 f"entr{'y' if len(result.baseline_unused) == 1 else 'ies'} "
+                 f"(--strict-baseline)")
+        exit_code = max(exit_code, 1)
+    return CommandResult(text, report, exit_code=exit_code)
+
+
+def _sanitize_workout(long_hold_s: Optional[float],
+                      demo_inversion: bool) -> dict:
+    """A deterministic multi-threaded lock exercise under the sanitizer.
+
+    Three workers hammer a ``state -> journal`` two-lock hierarchy in a
+    consistent order, then rendezvous on a condition variable (which
+    exercises the wait/reacquire bookkeeping).  ``demo_inversion`` adds
+    one deliberate reversed acquisition so users can see what a failing
+    report looks like (and scripts can test their gates).
+    """
+    import threading
+
+    from . import sanitize
+
+    with sanitize.activated(long_hold_s=long_hold_s) as sanitizer:
+        state = sanitize.make_lock("cli.workout.state")
+        journal = sanitize.make_rlock("cli.workout.journal")
+        turnstile = sanitize.make_condition("cli.workout.turnstile")
+        progress = {"writes": 0, "done": 0}
+
+        def worker() -> None:
+            for _ in range(25):
+                with state:
+                    with journal:
+                        progress["writes"] += 1
+            with turnstile:
+                progress["done"] += 1
+                turnstile.notify_all()
+
+        threads = [threading.Thread(target=worker, name=f"workout-{i}")
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        with turnstile:
+            turnstile.wait_for(lambda: progress["done"] == len(threads),
+                               timeout=30.0)
+        for thread in threads:
+            thread.join()
+        if demo_inversion:
+            def inverted() -> None:
+                with journal:
+                    with state:
+                        progress["writes"] += 1
+
+            rogue = threading.Thread(target=inverted, name="workout-rogue")
+            rogue.start()
+            rogue.join()
+        return sanitize.build_sanitize_report(sanitizer)
+
+
+def cmd_sanitize_report(args) -> CommandResult:
+    """Exercise (or validate) the runtime lock-order sanitizer."""
+    import json as _json
+
+    from . import sanitize
+    from .errors import ConfigurationError
+
+    if args.input is not None:
+        try:
+            with open(args.input, encoding="utf-8") as handle:
+                doc = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read sanitize report {args.input!r}: {exc}")
+        doc = sanitize.validate_sanitize_report(doc)
+    else:
+        doc = _sanitize_workout(args.long_hold_s, args.demo_inversion)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return CommandResult(sanitize.render_sanitize_report(doc), doc,
+                         exit_code=0 if doc["clean"] else 1)
 
 
 def cmd_chaos(args) -> CommandResult:
@@ -746,6 +831,29 @@ COMMANDS: Dict[str, CommandSpec] = {
                 _arg("--baseline", default="lint-baseline.txt",
                      help="baseline file of standing suppressions "
                           "(missing file = empty baseline)"),
+                _arg("--strict-baseline", action="store_true",
+                     help="exit 1 when the baseline holds stale entries "
+                          "that no longer match any finding (CI mode)"),
+            ),
+        ),
+        CommandSpec(
+            "sanitize-report",
+            "runtime lock-order sanitizer: run the built-in lock workout "
+            "or validate a captured report (exit 1 on inversions)",
+            cmd_sanitize_report,
+            args=(
+                _arg("--input", default=None, metavar="FILE",
+                     help="validate and render an existing "
+                          "repro.sanitize.report/v1 JSON document instead "
+                          "of running the workout"),
+                _arg("--out", default=None, metavar="FILE",
+                     help="also write the report JSON to FILE"),
+                _arg("--long-hold-s", type=float, default=None,
+                     help="long-hold threshold in seconds (default 5.0, "
+                          "or REPRO_SANITIZE_LONG_HOLD_S)"),
+                _arg("--demo-inversion", action="store_true",
+                     help="seed a deliberate ABBA lock-order inversion so "
+                          "the report (and your gate) shows a failure"),
             ),
         ),
         CommandSpec(

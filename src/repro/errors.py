@@ -22,6 +22,7 @@ __all__ = [
     "CheckpointError",
     "AnalysisError",
     "LintError",
+    "SanitizeError",
     "StoreError",
     "StoreCorruptionError",
     "CampaignInterrupted",
@@ -180,3 +181,10 @@ class LintError(ReproError):
     file, or a lint report that does not validate against its schema.
     (Findings themselves are data — :class:`repro.lint.Violation` — and
     set the exit code instead of raising.)"""
+
+
+class SanitizeError(ReproError):
+    """Runtime concurrency-sanitizer failure that is not a *finding*: a
+    release of a lock the calling thread never acquired, or a sanitize
+    report that does not validate against ``repro.sanitize.report/v1``.
+    (Findings — inversions, long holds — are data in the report.)"""

@@ -11,7 +11,11 @@ every file, by a small rule-plugin framework:
   the ``repro.core`` front door, raw estimators stay internal, and
   work-spawning entry points thread ``obs=``;
 * numerical-safety family (``SPICE201``-``SPICE202``) — no float
-  equality on physical quantities, no inline unit-bearing constants.
+  equality on physical quantities, no inline unit-bearing constants;
+* concurrency-safety family (``SPICE301``-``SPICE305``) — guarded
+  fields accessed under their lock, no lock-order cycles, no blocking
+  calls under a held lock or on the event loop, no unjoined threads
+  (the static half of ``repro.sanitize``'s runtime analysis).
 
 Run it as ``python -m repro lint [paths] [--json] [--select/--ignore]``;
 exit code 1 means violations.  Suppress deliberately with
@@ -41,7 +45,12 @@ from .report import (
     render_text_report,
     validate_lint_report,
 )
-from . import rules_determinism, rules_api, rules_numeric  # noqa: F401  (rule registration)
+from . import (  # noqa: F401  (rule registration)
+    rules_determinism,
+    rules_api,
+    rules_numeric,
+    rules_concurrency,
+)
 
 __all__ = [
     "FileContext",

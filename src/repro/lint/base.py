@@ -118,12 +118,32 @@ class FileContext:
                     target = alias.name if alias.asname else local
                     self.module_aliases[local] = target
             elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative import: out of scope for rules
-                    continue
-                module = node.module or ""
+                if node.level:
+                    module = self._resolve_relative(node.level, node.module)
+                    if module is None:  # outside src/repro: unresolvable
+                        continue
+                else:
+                    module = node.module or ""
                 for alias in node.names:
                     local = alias.asname or alias.name
                     self.from_imports[local] = f"{module}.{alias.name}"
+
+    def _resolve_relative(self, level: int, module: Optional[str]) -> Optional[str]:
+        """Dotted absolute module for a relative import inside src/repro.
+
+        ``from ..store.index import f`` in ``src/repro/service/state.py``
+        resolves to ``repro.store.index``.  Returns ``None`` for files
+        outside the package tree or for imports that climb past its root.
+        """
+        if self.kind != "src" or not self.relpath.startswith("src/repro/"):
+            return None
+        base = ("repro",) + self.package
+        if level - 1 > len(base) - 1:  # would escape the repro package
+            return None
+        if level > 1:
+            base = base[: -(level - 1)]
+        parts = base + (tuple(module.split(".")) if module else ())
+        return ".".join(parts)
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Best-effort dotted path of a Name/Attribute chain.

@@ -1,0 +1,56 @@
+"""``repro.sanitize`` — runtime lock-order / hold-time sanitizer.
+
+The dynamic half of the concurrency-safety analysis (the static half is
+the ``SPICE301``-``SPICE305`` lint family).  Production code builds its
+locks through the factories here::
+
+    from ..sanitize import make_rlock
+    self._lock = make_rlock("service.runner")
+
+Normally that *is* a plain ``threading.RLock()``.  Under an installed
+sanitizer — ``REPRO_SANITIZE=1`` in the environment, an explicit
+:func:`install`, or the scoped :func:`activated` context manager — the
+factories return instrumented wrappers that track per-thread held-lock
+stacks, build the global lock-order graph, flag ABBA inversions with
+both witnesses' stacks, and time every hold against a configurable
+long-hold threshold.  Findings surface as a validated
+``repro.sanitize.report/v1`` document (``repro sanitize-report``, the
+pytest session fixture, and the CI ``sanitize-smoke`` gate) plus
+``sanitize.*`` obs counters.
+"""
+
+from .locks import (
+    SanitizedLock,
+    Sanitizer,
+    activated,
+    current,
+    enabled,
+    install,
+    make_condition,
+    make_lock,
+    make_rlock,
+    uninstall,
+)
+from .report import (
+    SCHEMA_SANITIZE,
+    build_sanitize_report,
+    render_sanitize_report,
+    validate_sanitize_report,
+)
+
+__all__ = [
+    "SanitizedLock",
+    "Sanitizer",
+    "activated",
+    "current",
+    "enabled",
+    "install",
+    "uninstall",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "SCHEMA_SANITIZE",
+    "build_sanitize_report",
+    "render_sanitize_report",
+    "validate_sanitize_report",
+]

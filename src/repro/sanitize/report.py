@@ -1,0 +1,142 @@
+"""The ``repro.sanitize.report/v1`` document: build, validate, render.
+
+Same contract as the lint and bench reports: the builder validates the
+document as it is produced, so a malformed report fails the producing
+process (CI job, CLI call) even when it contains zero findings, and the
+CI gate (``tools/check_sanitize_report.py``) re-validates on the
+consuming side before deciding pass/fail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import SanitizeError
+from .locks import Sanitizer
+
+__all__ = [
+    "SCHEMA_SANITIZE",
+    "build_sanitize_report",
+    "validate_sanitize_report",
+    "render_sanitize_report",
+]
+
+SCHEMA_SANITIZE = "repro.sanitize.report/v1"
+
+
+def build_sanitize_report(sanitizer: Sanitizer) -> Dict[str, Any]:
+    """A validated report document from everything the sanitizer saw."""
+    snapshot = sanitizer.snapshot()
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_SANITIZE,
+        "clean": not snapshot["inversions"],
+        **snapshot,
+    }
+    return validate_sanitize_report(report)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SanitizeError(f"invalid sanitize report: {message}")
+
+
+def _check_str_list(value: Any, label: str) -> None:
+    _require(isinstance(value, list)
+             and all(isinstance(item, str) for item in value),
+             f"{label} must be a list of strings")
+
+
+def validate_sanitize_report(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate ``doc`` against ``repro.sanitize.report/v1``; return it.
+
+    Raises :class:`~repro.errors.SanitizeError` on the first problem.
+    """
+    _require(isinstance(doc, dict), "not a mapping")
+    _require(doc.get("schema") == SCHEMA_SANITIZE,
+             f"schema is {doc.get('schema')!r}, expected {SCHEMA_SANITIZE}")
+    threshold = doc.get("long_hold_threshold_s")
+    _require(isinstance(threshold, (int, float)) and threshold > 0,
+             "long_hold_threshold_s must be a positive number")
+    counters = doc.get("counters")
+    _require(isinstance(counters, dict), "counters must be a mapping")
+    assert isinstance(counters, dict)
+    for key in ("acquisitions", "locks", "edges", "inversions",
+                "long_holds"):
+        value = counters.get(key)
+        _require(isinstance(value, int) and value >= 0,
+                 f"counters.{key} must be a non-negative integer")
+    locks = doc.get("locks")
+    _require(isinstance(locks, list), "locks must be a list")
+    assert isinstance(locks, list)
+    for entry in locks:
+        _require(isinstance(entry, dict)
+                 and isinstance(entry.get("label"), str)
+                 and isinstance(entry.get("acquisitions"), int),
+                 "each locks[] entry needs label:str, acquisitions:int")
+    edges = doc.get("edges")
+    _require(isinstance(edges, list), "edges must be a list")
+    assert isinstance(edges, list)
+    for entry in edges:
+        _require(isinstance(entry, dict)
+                 and isinstance(entry.get("first"), str)
+                 and isinstance(entry.get("second"), str)
+                 and isinstance(entry.get("count"), int),
+                 "each edges[] entry needs first:str, second:str, count:int")
+    inversions = doc.get("inversions")
+    _require(isinstance(inversions, list), "inversions must be a list")
+    assert isinstance(inversions, list)
+    for entry in inversions:
+        _require(isinstance(entry, dict), "inversions[] entries are dicts")
+        for key in ("held", "acquiring", "thread", "conflict_thread"):
+            _require(isinstance(entry.get(key), str),
+                     f"inversions[].{key} must be a string")
+        _check_str_list(entry.get("stack"), "inversions[].stack")
+        _check_str_list(entry.get("conflict_stack"),
+                        "inversions[].conflict_stack")
+    long_holds = doc.get("long_holds")
+    _require(isinstance(long_holds, list), "long_holds must be a list")
+    assert isinstance(long_holds, list)
+    for entry in long_holds:
+        _require(isinstance(entry, dict)
+                 and isinstance(entry.get("label"), str)
+                 and isinstance(entry.get("thread"), str)
+                 and isinstance(entry.get("held_s"), (int, float)),
+                 "each long_holds[] entry needs label, thread, held_s")
+        _check_str_list(entry.get("stack"), "long_holds[].stack")
+    _require(isinstance(doc.get("clean"), bool), "clean must be a bool")
+    _require(doc["clean"] == (not inversions),
+             "clean contradicts the inversions list")
+    _require(counters["inversions"] == len(inversions),
+             "counters.inversions contradicts the inversions list")
+    _require(counters["long_holds"] == len(long_holds),
+             "counters.long_holds contradicts the long_holds list")
+    return doc
+
+
+def render_sanitize_report(doc: Dict[str, Any]) -> str:
+    """Human-oriented text form (the CLI's default output)."""
+    counters = doc["counters"]
+    lines: List[str] = []
+    verdict = "clean" if doc["clean"] else "INVERSIONS DETECTED"
+    lines.append(
+        f"sanitize: {verdict} — {counters['acquisitions']} acquisition(s) "
+        f"across {counters['locks']} lock(s), {counters['edges']} order "
+        f"edge(s), {counters['inversions']} inversion(s), "
+        f"{counters['long_holds']} long hold(s)")
+    for inv in doc["inversions"]:
+        lines.append(
+            f"  inversion: {inv['thread']} acquired '{inv['acquiring']}' "
+            f"while holding '{inv['held']}', but {inv['conflict_thread']} "
+            f"orders '{inv['acquiring']}' before '{inv['held']}'")
+        for frame in inv["stack"][-3:]:
+            lines.append(f"    at {frame}")
+        lines.append("  conflicting ordering:")
+        for frame in inv["conflict_stack"][-3:]:
+            lines.append(f"    at {frame}")
+    threshold = doc["long_hold_threshold_s"]
+    for hold in doc["long_holds"]:
+        lines.append(
+            f"  warning: long hold of '{hold['label']}' by "
+            f"{hold['thread']}: {hold['held_s']:.3f}s "
+            f"(threshold {threshold:g}s)")
+    return "\n".join(lines)

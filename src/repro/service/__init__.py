@@ -27,7 +27,12 @@ Entry points: ``repro serve`` starts a server; ``repro submit`` /
 in-memory instance by ``tools/make_api_docs.py``.
 """
 
+from typing import Any, Callable, TYPE_CHECKING
+
 from .api import API_VERSION, Request, Response, ServiceApp
+
+if TYPE_CHECKING:  # annotation-only; the handle stays an optional dep here
+    from ..obs import Obs
 from .auth import AuthRegistry, Principal, Quota, check_owner
 from .client import ServiceClient, ServiceClientError
 from .http import ServiceServer
@@ -68,8 +73,13 @@ __all__ = [
 ]
 
 
-def build_service(store_root, *, tokens_file=None, obs=None, inline=False,
-                  sync=True, task_fault=None):
+def build_service(store_root: str, *,
+                  tokens_file: "str | None" = None,
+                  obs: "Obs | None" = None,
+                  inline: bool = False,
+                  sync: bool = True,
+                  task_fault: "Callable[[str, Any, int], None] | None" = None,
+                  ) -> ServiceApp:
     """Wire a full service stack over one store root (the one-call setup).
 
     Creates/opens the :class:`~repro.store.ShardedResultStore` at

@@ -45,6 +45,7 @@ from ..errors import (
     ServiceError,
 )
 from ..obs import Obs, as_obs
+from ..sanitize import make_rlock
 from .auth import Principal
 from .spec import CampaignSpec
 from .state import CampaignRecord, ServiceState
@@ -132,7 +133,7 @@ class CampaignRunner:
         self.inline = inline
         self.task_fault = task_fault
         self.progress_every = max(1, int(progress_every))
-        self._lock = threading.RLock()
+        self._lock = make_rlock("service.runner")
         self._cancel_events: Dict[str, threading.Event] = {}
         self._followers: Dict[str, List[str]] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -215,10 +216,16 @@ class CampaignRunner:
         if self.inline:
             self._run(record, spec)
             return
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="spice-service")
-        self._executor.submit(self._run_guarded, record, spec)
+        # Re-entrant on purpose: submit()/retry_dead_letters() already
+        # hold the lock; taking it here keeps _executor lock-guarded on
+        # every path.  The submit itself happens on the snapshot so no
+        # executor call runs under the lock.
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="spice-service")
+            executor = self._executor
+        executor.submit(self._run_guarded, record, spec)
 
     # -- execution -------------------------------------------------------------
 
@@ -240,7 +247,9 @@ class CampaignRunner:
         from ..pore import ReducedTranslocationModel, default_reduced_potential
         from ..workflow.streaming import run_streamed_study
 
-        cancel = self._cancel_events.setdefault(record.id, threading.Event())
+        with self._lock:
+            cancel = self._cancel_events.setdefault(
+                record.id, threading.Event())
         if cancel.is_set():
             self._finish(record, "cancelled", detail="cancelled before start")
             return
@@ -402,7 +411,8 @@ class CampaignRunner:
         if record.terminal:
             raise LifecycleError(
                 f"campaign {campaign_id} is already {record.state}")
-        event = self._cancel_events.get(campaign_id)
+        with self._lock:
+            event = self._cancel_events.get(campaign_id)
         if event is None and record.coalesced_with:
             # Followers cancel only themselves; the primary keeps running
             # for its own client.
@@ -449,10 +459,17 @@ class CampaignRunner:
         return record
 
     def close(self) -> None:
-        """Drain the worker pool (blocks until in-flight runs finish)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Drain the worker pool (blocks until in-flight runs finish).
+
+        The executor reference is swapped out under the lock but the
+        blocking shutdown happens outside it: a worker finishing a run
+        takes ``self._lock`` in :meth:`_finish`, so shutting down while
+        holding it would deadlock against our own pool.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def _count(self, name: str, amount: float = 1.0) -> None:
         if self.obs.enabled and amount:

@@ -37,11 +37,11 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..errors import LifecycleError, ServiceError
+from ..sanitize import make_rlock
 from ..store.index import atomic_write_text
 
 __all__ = [
@@ -180,7 +180,7 @@ class ServiceState:
     def __init__(self, root: str, *, sync: bool = True) -> None:
         self.root = os.fspath(root)
         self._sync = sync
-        self._lock = threading.RLock()
+        self._lock = make_rlock("service.state")
         self._records: Dict[str, CampaignRecord] = {}
         self._event_counts: Dict[str, int] = {}
         self._next_id = 1
@@ -201,22 +201,29 @@ class ServiceState:
         return os.path.join(self.root, "results", spec_fingerprint + ".json")
 
     def _load(self) -> None:
-        """Recover records from disk (restart path)."""
-        for name in sorted(os.listdir(self._campaigns_dir)):
-            if not name.endswith(".json"):
-                continue
-            path = os.path.join(self._campaigns_dir, name)
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    record = CampaignRecord.from_dict(json.load(handle))
-            except (OSError, ValueError, KeyError, ServiceError):
-                # A torn record is impossible (atomic replace); anything
-                # unreadable here is foreign garbage — skip, don't serve.
-                continue
-            self._records[record.id] = record
-            number = _id_number(record.id)
-            if number is not None and number >= self._next_id:
-                self._next_id = number + 1
+        """Recover records from disk (restart path).
+
+        Runs under the lock even though it is only called from
+        ``__init__`` today: ``_records``/``_next_id`` are lock-guarded
+        everywhere else, and a future re-scan entry point must not be
+        able to forget the discipline.
+        """
+        with self._lock:
+            for name in sorted(os.listdir(self._campaigns_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(self._campaigns_dir, name)
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        record = CampaignRecord.from_dict(json.load(handle))
+                except (OSError, ValueError, KeyError, ServiceError):
+                    # A torn record is impossible (atomic replace); anything
+                    # unreadable here is foreign garbage — skip, don't serve.
+                    continue
+                self._records[record.id] = record
+                number = _id_number(record.id)
+                if number is not None and number >= self._next_id:
+                    self._next_id = number + 1
 
     # -- records ---------------------------------------------------------------
 
@@ -344,7 +351,12 @@ class ServiceState:
                 handle.write(canonical_json(doc) + "\n")
                 if self._sync:
                     handle.flush()
-                    os.fsync(handle.fileno())
+                    # Deliberately under the lock: the event's seq order
+                    # must match the file's append order, and the lock is
+                    # what serializes appenders.  Single-writer, tiny
+                    # line, and the durability contract ("seq N returned
+                    # => event N on disk") needs the fsync inside.
+                    os.fsync(handle.fileno())  # spice: noqa SPICE303
             return seq
 
     def read_events(self, campaign_id: str, *,

@@ -34,6 +34,46 @@ def chaos_seed(request):
     return request.config.getoption("--chaos-seed")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def session_sanitizer():
+    """Run the whole session under the lock sanitizer when asked.
+
+    With ``REPRO_SANITIZE`` truthy (the CI ``sanitize-smoke`` job) a
+    sanitizer is installed before any test builds a lock, so every
+    factory-built lock in the code under test is instrumented.  At
+    teardown the report is written to ``$REPRO_SANITIZE_REPORT`` (when
+    set) for the CI gate/artifact, and any observed lock-order
+    inversion fails the session outright.
+    """
+    from repro import sanitize
+
+    if os.environ.get("REPRO_SANITIZE", "").lower() not in (
+            "1", "true", "yes", "on"):
+        yield None
+        return
+    sanitizer = sanitize.install()
+    yield sanitizer
+    report = sanitize.build_sanitize_report(sanitizer)
+    out = os.environ.get("REPRO_SANITIZE_REPORT")
+    if out:
+        import json
+
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    assert report["clean"], sanitize.render_sanitize_report(report)
+
+
+@pytest.fixture
+def sanitizer():
+    """A scoped sanitizer for tests that drive threaded code directly."""
+    from repro import sanitize
+
+    with sanitize.activated() as active:
+        yield active
+
+
 #: Repo-root entries tooling legitimately creates while the suite runs.
 _ALLOWED_NEW_ROOT_ENTRIES = {
     ".pytest_cache", "__pycache__", ".hypothesis", ".benchmarks",

@@ -438,3 +438,352 @@ class TestViolationRendering:
         b, _ = run_lint("src/repro/md/foo.py", src)
         assert [str(v) for v in a] == [str(v) for v in b]
         assert [v.line for v in a] == sorted(v.line for v in a)
+
+
+class TestGuardedField:
+    def test_unguarded_read_of_locked_field_flagged(self):
+        src = """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._items[key] = value
+
+            def get(self, key):
+                return self._items.get(key)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE301"]
+
+    def test_mutator_method_counts_as_unguarded_write(self):
+        src = """\
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._pending = []
+
+            def put(self, item):
+                with self._lock:
+                    self._pending.append(item)
+
+            def put_fast(self, item):
+                self._pending.append(item)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE301"]
+
+    def test_all_accesses_under_lock_clean(self):
+        src = """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._items[key] = value
+
+            def get(self, key):
+                with self._lock:
+                    return self._items.get(key)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_init_writes_do_not_vote_or_get_flagged(self):
+        # Construction-time writes happen before any other thread can
+        # see the object; only post-__init__ writes define the guard.
+        src = """\
+        import threading
+
+        class Plain:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._config = {}
+
+            def config(self):
+                return self._config
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_sanitize_factory_lock_recognized(self):
+        src = """\
+        from repro.sanitize import make_rlock
+
+        class Store:
+            def __init__(self):
+                self._guard = make_rlock("store")
+                self._items = {}
+
+            def put(self, key, value):
+                with self._guard:
+                    self._items[key] = value
+
+            def get(self, key):
+                return self._items.get(key)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE301"]
+
+    def test_nested_callback_does_not_inherit_lock_region(self):
+        # The closure runs later (usually on another thread): its write
+        # is NOT under the lexically enclosing `with self._lock`.
+        src = """\
+        import threading
+
+        class Sched:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._done = {}
+
+            def mark(self, key):
+                with self._lock:
+                    self._done[key] = True
+
+            def defer(self, key, submit):
+                with self._lock:
+                    def callback():
+                        self._done[key] = False
+                    submit(callback)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE301"]
+
+
+class TestLockOrder:
+    def test_abba_fixture_flagged_statically(self):
+        # The same seeded inversion the runtime sanitizer must catch
+        # (tests/test_sanitize.py) — one bug, both analysis layers.
+        from tests.test_sanitize import ABBA_SOURCE
+
+        ids = rule_ids("src/repro/service/abba.py", ABBA_SOURCE)
+        assert ids == ["SPICE302", "SPICE302"]
+
+    def test_consistent_order_clean(self):
+        src = """\
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self._alpha_lock = threading.Lock()
+                self._beta_lock = threading.Lock()
+
+            def forward(self):
+                with self._alpha_lock:
+                    with self._beta_lock:
+                        return True
+
+            def also_forward(self):
+                with self._alpha_lock:
+                    with self._beta_lock:
+                        return False
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_cycle_through_method_call_flagged(self):
+        # push() holds head and calls _bump() which takes tail; drain()
+        # takes tail then head: an inversion only visible through the
+        # call-graph fixpoint, not any single with-statement.
+        src = """\
+        import threading
+
+        class Pipe:
+            def __init__(self):
+                self._head_lock = threading.Lock()
+                self._tail_lock = threading.Lock()
+
+            def push(self):
+                with self._head_lock:
+                    self._bump()
+
+            def _bump(self):
+                with self._tail_lock:
+                    return True
+
+            def drain(self):
+                with self._tail_lock:
+                    with self._head_lock:
+                        return True
+        """
+        assert "SPICE302" in rule_ids("src/repro/service/foo.py", src)
+
+
+class TestBlockingUnderLock:
+    def test_fsync_under_lock_flagged(self):
+        src = """\
+        import os
+        import threading
+
+        class Journal:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def flush(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE303"]
+
+    def test_fsync_after_release_clean(self):
+        src = """\
+        import os
+        import threading
+
+        class Journal:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def flush(self, handle):
+                with self._lock:
+                    fd = handle.fileno()
+                os.fsync(fd)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_executor_shutdown_under_lock_flagged(self):
+        # The self-deadlock shape service/runner.py's close() avoids:
+        # shutdown(wait=True) under a lock the workers also take.
+        src = """\
+        import threading
+
+        class Runner:
+            def __init__(self, executor):
+                self._lock = threading.Lock()
+                self._executor = executor
+
+            def close(self):
+                with self._lock:
+                    self._executor.shutdown(wait=True)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE303"]
+
+    def test_noqa_with_rationale_suppresses(self):
+        src = """\
+        import os
+        import threading
+
+        class Journal:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def flush(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())  # spice: noqa SPICE303
+        """
+        violations, suppressed = run_lint("src/repro/service/foo.py", src)
+        assert violations == []
+        assert suppressed == 1
+
+
+class TestBlockingInAsync:
+    def test_sleep_in_async_def_flagged(self):
+        src = """\
+        import time
+
+        async def handler():
+            time.sleep(1)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE304"]
+
+    def test_bare_open_in_async_def_flagged(self):
+        src = """\
+        async def read_config(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE304"]
+
+    def test_executor_offload_clean(self):
+        # The sanctioned idiom: blocking work lives in a nested def that
+        # run_in_executor ships to a worker thread.
+        src = """\
+        import time
+
+        async def handler(loop):
+            def work():
+                time.sleep(1)
+            return await loop.run_in_executor(None, work)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_sync_def_sleep_not_304(self):
+        src = """\
+        import time
+
+        def retry_pause():
+            time.sleep(1)
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+
+class TestUnjoinedThread:
+    def test_thread_without_join_or_daemon_flagged(self):
+        src = """\
+        import threading
+
+        def launch(fn):
+            thread = threading.Thread(target=fn)
+            thread.start()
+            return thread
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE305"]
+
+    def test_explicit_daemon_kwarg_clean(self):
+        src = """\
+        import threading
+
+        def launch(fn):
+            thread = threading.Thread(target=fn, daemon=True)
+            thread.start()
+            return thread
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_join_elsewhere_in_module_clean(self):
+        src = """\
+        import threading
+
+        def launch(fn):
+            thread = threading.Thread(target=fn)
+            thread.start()
+            return thread
+
+        def shutdown(thread):
+            thread.join()
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == []
+
+    def test_string_join_is_not_a_thread_join(self):
+        src = """\
+        import threading
+
+        def launch(fn, parts):
+            name = "-".join(parts)
+            thread = threading.Thread(target=fn, name=name)
+            thread.start()
+            return thread
+        """
+        assert rule_ids("src/repro/service/foo.py", src) == ["SPICE305"]
+
+
+class TestConcurrencyRulesScope:
+    def test_family_is_src_only(self):
+        # Tests legitimately poke at shared state without locks; the
+        # discipline rules bind production code only.
+        src = """\
+        import os
+        import threading
+
+        class Journal:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def flush(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())
+        """
+        assert rule_ids("tests/test_foo.py", src) == []

@@ -1,0 +1,53 @@
+"""CI gate for the runtime lock sanitizer (the ``sanitize-smoke`` job).
+
+The pytest session fixture writes a ``repro.sanitize.report/v1``
+document to ``$REPRO_SANITIZE_REPORT``; this script re-validates it on
+the consuming side and decides pass/fail:
+
+* exit 0 — report valid and clean (long holds are warnings only);
+* exit 1 — any lock-order inversion, or a missing/malformed report
+  (a gate that silently passes on a missing artifact is no gate).
+
+Usage::
+
+    python tools/check_sanitize_report.py sanitize-artifacts/report.json
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.errors import SanitizeError  # noqa: E402
+from repro.sanitize import (  # noqa: E402
+    render_sanitize_report,
+    validate_sanitize_report,
+)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_sanitize_report.py REPORT.json", file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        print(f"sanitize gate: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"sanitize gate: {path} is not JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        report = validate_sanitize_report(doc)
+    except SanitizeError as exc:
+        print(f"sanitize gate: {exc}", file=sys.stderr)
+        return 1
+    print(render_sanitize_report(report))
+    return 0 if report["clean"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
