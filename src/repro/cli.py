@@ -143,6 +143,71 @@ def cmd_pmf(args) -> CommandResult:
     })
 
 
+def cmd_estimate(args) -> CommandResult:
+    from .analysis import Curve, FigureData, render_figure
+    from .core import estimate_pmf, forward_reverse_pmf
+    from .obs import Obs
+    from .pore import ReducedTranslocationModel, default_reduced_potential
+    from .smd import (PullingProtocol, run_bidirectional_ensemble,
+                      run_pulling_ensemble)
+
+    model = ReducedTranslocationModel(default_reduced_potential())
+    proto = PullingProtocol(kappa_pn=args.kappa, velocity=args.velocity,
+                            distance=args.distance, start_z=args.start_z)
+    obs = Obs()
+    summary = {
+        "command": "estimate",
+        "seed": args.seed,
+        "method": args.method,
+        "kappa_pn": args.kappa,
+        "velocity": args.velocity,
+        "n_samples": args.samples,
+    }
+    if args.method == "fr":
+        pair = run_bidirectional_ensemble(
+            model, proto, args.samples, seed=args.seed, obs=obs,
+            kernel="vectorized")
+        prof = forward_reverse_pmf(pair.forward, pair.reverse)
+        z, values, cost = prof.stations, prof.pmf, prof.cpu_hours
+        finite = prof.diffusion[np.isfinite(prof.diffusion)]
+        d_med = float(np.median(finite)) if finite.size else float("nan")
+        summary.update({
+            "n_forward": prof.n_forward,
+            "n_reverse": prof.n_reverse,
+            "median_diffusion_A2_ns": d_med,
+        })
+        extra = f"   D(z) median: {d_med:.0f} A^2/ns"
+    else:
+        ens = run_pulling_ensemble(model, proto, n_samples=args.samples,
+                                   seed=args.seed, obs=obs,
+                                   kernel="vectorized")
+        kwargs = {}
+        if args.method == "parallel-pull" and args.group_size:
+            kwargs["group_size"] = args.group_size
+            summary["group_size"] = args.group_size
+        est = estimate_pmf(ens, estimator=args.method, **kwargs)
+        z = proto.start_z + est.displacements
+        values, cost = est.values, ens.cpu_hours
+        extra = ""
+    ref = model.reference_pmf(z, zero_at_start=False)
+    ref = ref - ref[0]
+    rms = float(np.sqrt(np.mean((values - ref) ** 2)))
+    fig = FigureData(f"PMF via {args.method} ({proto.label()})",
+                     "z (A)", "Phi (kcal/mol)")
+    fig.add(Curve(args.method, z, values))
+    fig.add(Curve("exact", z, ref))
+    summary.update({
+        "rms_error_kcal_mol": rms,
+        "cpu_hours": cost,
+    })
+    lines = [
+        render_figure(fig),
+        f"\nrms error: {rms:.2f} kcal/mol   "
+        f"cost (paper scale): {cost:.0f} CPU-h{extra}",
+    ]
+    return CommandResult("\n".join(lines), summary)
+
+
 def cmd_fig4(args) -> CommandResult:
     from .analysis import fig4_error_table
     from .core import run_parameter_study
@@ -241,7 +306,55 @@ def _run_instrumented_campaign(args):
     return result, report
 
 
+def _run_adaptive_campaign(args) -> CommandResult:
+    """The ``campaign --adaptive`` path: pilot/diagnose/refine over one
+    window instead of the three-phase grid study."""
+    from .obs import Obs
+    from .pore import ReducedTranslocationModel, default_reduced_potential
+    from .smd import PullingProtocol
+    from .workflow import run_adaptive_campaign
+
+    obs = Obs()
+    store = _campaign_store(args, obs)
+    model = ReducedTranslocationModel(default_reduced_potential())
+    proto = PullingProtocol(kappa_pn=100.0, velocity=12.5, distance=10.0,
+                            start_z=-5.0)
+    report = run_adaptive_campaign(
+        model, proto, n_bins=args.bins, total_replicas=args.budget,
+        pilot_per_bin=args.pilot, seed=args.seed,
+        executor="streamed" if store is not None else "inline",
+        store=store, obs=obs, kernel="vectorized",
+    )
+    lines = [
+        f"adaptive allocation over {args.bins} bins "
+        f"(budget {args.budget} replicas, pilot {args.pilot}/bin):",
+        "  bin  start_z  pilot  extra  score(MSE)",
+    ]
+    for b in report.bins:
+        lines.append(f"  {b.index:>3}  {b.start_z:7.2f}  {b.pilot:>5}  "
+                     f"{b.extra:>5}  {b.score:10.4f}")
+    lines.append(
+        f"rms error: {report.rms_error:.2f} kcal/mol   "
+        f"cost (paper scale): {report.cpu_hours:.0f} CPU-h   "
+        f"digest: {report.digest()[:12]}")
+    return CommandResult("\n".join(lines), {
+        "command": "campaign",
+        "adaptive": True,
+        "seed": args.seed,
+        "n_bins": args.bins,
+        "total_replicas": args.budget,
+        "pilot_per_bin": args.pilot,
+        "allocations": report.allocations(),
+        "bin_scores": [b.score for b in report.bins],
+        "rms_error_kcal_mol": report.rms_error,
+        "cpu_hours": report.cpu_hours,
+        "digest": report.digest(),
+    })
+
+
 def cmd_campaign(args) -> CommandResult:
+    if getattr(args, "adaptive", False):
+        return _run_adaptive_campaign(args)
     result, report = _run_instrumented_campaign(args)
     s = result.summary()
     lines = [
@@ -372,6 +485,7 @@ def cmd_bench(args) -> CommandResult:
 
     from .obs import Obs
     from .perf import (
+        run_adaptive_benchmark,
         run_ensemble_benchmark,
         run_kernel_benchmark,
         run_store_benchmark,
@@ -384,14 +498,18 @@ def cmd_bench(args) -> CommandResult:
                                       n_workers=args.workers, obs=Obs())
     store = run_store_benchmark(quick=args.quick, seed=args.seed,
                                 obs=Obs(), n_tasks=args.store_tasks)
+    adaptive = run_adaptive_benchmark(quick=args.quick, seed=args.seed,
+                                      obs=Obs())
     kernels_path = os.path.join(args.out_dir, "BENCH_kernels.json")
     ensemble_path = os.path.join(args.out_dir, "BENCH_ensemble.json")
     store_path = os.path.join(args.out_dir, "BENCH_store.json")
+    adaptive_path = os.path.join(args.out_dir, "BENCH_adaptive.json")
     # write_bench_document validates first: malformed output is exit code 1,
     # not a silently-written file.
     write_bench_document(kernels_path, kernels)
     write_bench_document(ensemble_path, ensemble)
     write_bench_document(store_path, store)
+    write_bench_document(adaptive_path, adaptive)
 
     sr = kernels["step_rate"]
     nr = kernels["neighbor_rebuild"]
@@ -425,7 +543,18 @@ def cmd_bench(args) -> CommandResult:
         f"  dlq depth   {store['dlq']['depth']:>10}   "
         f"steals {store['stealing']['steals']}   "
         f"deterministic: {store['deterministic']}",
-        f"wrote {kernels_path}, {ensemble_path} and {store_path}",
+        f"adaptive allocation ({len(adaptive['points'])} budget points):",
+    ]
+    for point in adaptive["points"]:
+        lines.append(
+            f"  budget {point['budget']:>4}   "
+            f"adaptive {point['adaptive_error']:6.3f}   "
+            f"uniform {point['uniform_error']:6.3f} kcal/mol rms")
+    lines += [
+        f"  deterministic: {adaptive['deterministic']} "
+        f"(inline/twin/batched/streamed digests)",
+        f"wrote {kernels_path}, {ensemble_path}, {store_path} and "
+        f"{adaptive_path}",
     ]
     return CommandResult("\n".join(lines), {
         "command": "bench",
@@ -434,6 +563,7 @@ def cmd_bench(args) -> CommandResult:
         "kernels": kernels,
         "ensemble": ensemble,
         "store": store,
+        "adaptive": adaptive,
     })
 
 
@@ -727,6 +857,31 @@ COMMANDS: Dict[str, CommandSpec] = {
             ),
         ),
         CommandSpec(
+            "estimate", "free-energy estimate via a chosen estimator",
+            cmd_estimate,
+            args=(
+                _arg("--method", default="fr",
+                     choices=("exponential", "cumulant", "block",
+                              "parallel-pull", "fr"),
+                     help="estimator: 'fr' pairs forward with "
+                          "time-mirrored reverse pulls (bias-free means, "
+                          "plus a position-resolved diffusion profile); "
+                          "'parallel-pull' groups replicas into composite "
+                          "pulls"),
+                _arg("--kappa", type=float, default=100.0,
+                     help="spring constant in pN/A"),
+                _arg("--velocity", type=float, default=12.5,
+                     help="pulling velocity in A/ns"),
+                _arg("--distance", type=float, default=10.0),
+                _arg("--start-z", type=float, default=-5.0),
+                _arg("--samples", type=int, default=24,
+                     help="replicas per direction (fr runs both)"),
+                _arg("--group-size", type=int, default=None,
+                     help="parallel-pull group size M "
+                          "(default: round(sqrt(m)))"),
+            ),
+        ),
+        CommandSpec(
             "fig4", "the full (kappa, v) parameter study", cmd_fig4,
             args=(_arg("--samples", type=int, default=48),),
         ),
@@ -753,6 +908,18 @@ COMMANDS: Dict[str, CommandSpec] = {
                 _arg("--window", type=int, default=None, metavar="N",
                      help="stream the study lazily with N task "
                           "descriptors in flight (requires --store)"),
+                _arg("--adaptive", action="store_true",
+                     help="adaptive replica allocation: pilot each "
+                          "sub-trajectory bin, block-bootstrap the JE "
+                          "bias/variance, and spend the remaining budget "
+                          "on the worst bins (uses --store via the "
+                          "streamed executor when given)"),
+                _arg("--budget", type=int, default=40,
+                     help="total replica budget for --adaptive"),
+                _arg("--bins", type=int, default=4,
+                     help="sub-trajectory windows for --adaptive"),
+                _arg("--pilot", type=int, default=4,
+                     help="pilot replicas per bin for --adaptive"),
             ),
         ),
         CommandSpec(

@@ -11,7 +11,15 @@ from .jarzynski import (
 from .estimators import (
     available_estimators,
     estimate_free_energy,
+    paired_estimators,
     register_estimator,
+)
+from .fr import (
+    FRProfile,
+    default_group_size,
+    forward_reverse_pmf,
+    fr_estimator,
+    parallel_pull_estimator,
 )
 from .pmf import PMFEstimate, estimate_pmf, stiff_spring_correction
 from .error_analysis import (
@@ -27,7 +35,9 @@ from .optimizer import ParameterStudyResult, run_parameter_study, select_optimal
 from .ti import TIProtocol, TIResult, run_thermodynamic_integration
 from .wham import UmbrellaProtocol, WHAMResult, run_umbrella_sampling, wham
 from .diagnostics import (
+    BlockBootstrapDiagnostic,
     ConvergenceReport,
+    block_bootstrap,
     convergence_report,
     dominance,
     effective_sample_size,
@@ -40,7 +50,13 @@ __all__ = [
     "jarzynski_bias_estimate",
     "available_estimators",
     "estimate_free_energy",
+    "paired_estimators",
     "register_estimator",
+    "FRProfile",
+    "default_group_size",
+    "forward_reverse_pmf",
+    "fr_estimator",
+    "parallel_pull_estimator",
     "PMFEstimate",
     "estimate_pmf",
     "stiff_spring_correction",
@@ -65,4 +81,6 @@ __all__ = [
     "convergence_report",
     "dominance",
     "effective_sample_size",
+    "BlockBootstrapDiagnostic",
+    "block_bootstrap",
 ]

@@ -28,24 +28,35 @@ from typing import Callable, Dict
 import numpy as np
 
 from ..errors import AnalysisError, ConfigurationError
+from .fr import fr_estimator, parallel_pull_estimator
 from .jarzynski import block_estimator, cumulant_estimator, exponential_estimator
 
 __all__ = [
     "estimate_free_energy",
     "register_estimator",
     "available_estimators",
+    "paired_estimators",
 ]
 
 #: method name -> estimator callable ``(works, temperature, **kw)``.
 _REGISTRY: Dict[str, Callable[..., np.ndarray]] = {}
 
+#: Names of *paired* estimators: those that need a second, reverse-pull
+#: work set (``reverse_works=``) on top of the forward ensemble.  Callers
+#: that only hold one-directional data (e.g. campaign cells) consult this
+#: to reject such methods up front instead of failing mid-analysis.
+_PAIRED: set = set()
 
-def register_estimator(name: str, fn: Callable[..., np.ndarray] = None):
+
+def register_estimator(name: str, fn: Callable[..., np.ndarray] = None,
+                       *, paired: bool = False):
     """Register ``fn`` under ``name``; usable directly or as a decorator.
 
     Re-registering an existing name raises
     :class:`~repro.errors.ConfigurationError` — shadowing a built-in
     estimator silently would poison every call site that names it.
+    ``paired=True`` flags estimators that require ``reverse_works=``
+    (see :func:`paired_estimators`).
     """
 
     def _register(func: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
@@ -54,6 +65,8 @@ def register_estimator(name: str, fn: Callable[..., np.ndarray] = None):
         if not callable(func):
             raise ConfigurationError(f"estimator {name!r} must be callable")
         _REGISTRY[name] = func
+        if paired:
+            _PAIRED.add(name)
         return func
 
     if fn is None:
@@ -64,6 +77,11 @@ def register_estimator(name: str, fn: Callable[..., np.ndarray] = None):
 def available_estimators() -> tuple:
     """Registered method names, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def paired_estimators() -> tuple:
+    """Names of registered estimators that need paired reverse-pull data."""
+    return tuple(sorted(_PAIRED))
 
 
 def estimate_free_energy(works: np.ndarray, temperature: float,
@@ -101,3 +119,5 @@ def estimate_free_energy(works: np.ndarray, temperature: float,
 register_estimator("exponential", exponential_estimator)
 register_estimator("cumulant", cumulant_estimator)
 register_estimator("block", block_estimator)
+register_estimator("fr", fr_estimator, paired=True)
+register_estimator("parallel-pull", parallel_pull_estimator)

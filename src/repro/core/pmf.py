@@ -78,6 +78,7 @@ def estimate_pmf(
     ensemble: WorkEnsemble,
     estimator: str = "exponential",
     stiff_spring: bool = False,
+    **estimator_kwargs,
 ) -> PMFEstimate:
     """Estimate the PMF from a work ensemble.
 
@@ -87,12 +88,18 @@ def estimate_pmf(
         Any name in the estimator registry (see
         :func:`~repro.core.estimators.estimate_free_energy`):
         ``"exponential"`` (direct Jarzynski), ``"cumulant"`` (2nd order),
-        ``"block"``, or a name added via
+        ``"block"``, ``"parallel-pull"``, ``"fr"``, or a name added via
         :func:`~repro.core.estimators.register_estimator`.
     stiff_spring:
         Apply the second-order stiff-spring deconvolution
         (:func:`stiff_spring_correction`) to recover the unbiased surface
         from the trap-coordinate free energy.
+    estimator_kwargs:
+        Passed through to the estimator unchanged — e.g. ``n_blocks=8``
+        for ``"block"``, ``group_size=4`` for ``"parallel-pull"``, or
+        ``reverse_works=`` for the paired ``"fr"`` method (for which
+        :func:`~repro.core.fr.forward_reverse_pmf` is the richer entry
+        point).
     """
     if estimator not in available_estimators():
         raise ConfigurationError(
@@ -100,7 +107,8 @@ def estimate_pmf(
             f"choose from {sorted(available_estimators())}"
         )
     values = estimate_free_energy(
-        ensemble.works, ensemble.temperature, method=estimator
+        ensemble.works, ensemble.temperature, method=estimator,
+        **estimator_kwargs,
     )
     if isinstance(values, tuple):
         # Estimators like "block" return (mean, spread); the PMF curve is

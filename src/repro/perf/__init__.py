@@ -10,13 +10,17 @@ Two benchmark families, both emitting schema-tagged JSON documents
   wall-clock and determinism cross-check (``BENCH_ensemble.json``);
 * :mod:`~repro.perf.bench_store` — sharded-store streaming throughput,
   kill/resume latency, DLQ depth and work-steal counts
-  (``BENCH_store.json``).
+  (``BENCH_store.json``);
+* :mod:`~repro.perf.bench_adaptive` — adaptive vs uniform replica
+  allocation cost-to-accuracy points with the cross-executor digest
+  check (``BENCH_adaptive.json``).
 
 Run via ``python -m repro bench [--quick]``; see PERFORMANCE.md for the
 performance model and how to reproduce the recorded numbers.
 """
 
 from .harness import (
+    SCHEMA_ADAPTIVE,
     SCHEMA_ENSEMBLE,
     SCHEMA_KERNELS,
     SCHEMA_STORE,
@@ -30,11 +34,13 @@ from .harness import (
 from .bench_kernels import build_benchmark_system, run_kernel_benchmark
 from .bench_ensemble import run_ensemble_benchmark
 from .bench_store import run_store_benchmark, synthetic_stream
+from .bench_adaptive import run_adaptive_benchmark
 
 __all__ = [
     "SCHEMA_KERNELS",
     "SCHEMA_ENSEMBLE",
     "SCHEMA_STORE",
+    "SCHEMA_ADAPTIVE",
     "Timing",
     "time_call",
     "metrics_snapshot",
@@ -45,5 +51,6 @@ __all__ = [
     "run_kernel_benchmark",
     "run_ensemble_benchmark",
     "run_store_benchmark",
+    "run_adaptive_benchmark",
     "synthetic_stream",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "SCHEMA_KERNELS",
     "SCHEMA_ENSEMBLE",
     "SCHEMA_STORE",
+    "SCHEMA_ADAPTIVE",
     "Timing",
     "time_call",
     "metrics_snapshot",
@@ -47,6 +48,7 @@ __all__ = [
 SCHEMA_KERNELS = "repro.bench.kernels/v1"
 SCHEMA_ENSEMBLE = "repro.bench.ensemble/v2"
 SCHEMA_STORE = "repro.bench.store/v1"
+SCHEMA_ADAPTIVE = "repro.bench.adaptive/v1"
 
 
 @dataclass(frozen=True)
@@ -197,6 +199,41 @@ def validate_bench_document(doc: object) -> dict:
                 "malformed BENCH document: store benchmark reports "
                 "deterministic=false — same-seed runs diverged (content "
                 "digest or DLQ entries)"
+            )
+        _require(doc, "metrics", dict)
+    elif schema == SCHEMA_ADAPTIVE:
+        _require(doc, "quick", bool)
+        _require(doc, "seed", int)
+        workload = _require(doc, "workload", dict)
+        _require_positive(workload, "n_bins")
+        _require_positive(workload, "pilot_per_bin")
+        points = _require(doc, "points", list)
+        if not points:
+            raise AnalysisError(
+                "malformed BENCH document: adaptive benchmark has no "
+                "cost-to-accuracy points")
+        for point in points:
+            if not isinstance(point, dict):
+                raise AnalysisError(
+                    "malformed BENCH document: adaptive point is not an "
+                    "object")
+            budget = _require_positive(point, "budget")
+            adaptive_error = _require_positive(point, "adaptive_error")
+            uniform_error = _require_positive(point, "uniform_error")
+            _require_positive(point, "adaptive_cpu_hours")
+            _require_positive(point, "uniform_cpu_hours")
+            if adaptive_error > uniform_error:
+                raise AnalysisError(
+                    f"malformed BENCH document: adaptive allocation loses "
+                    f"to uniform at budget {budget:g} "
+                    f"({adaptive_error:g} > {uniform_error:g}) — the "
+                    f"controller no longer dominates")
+        deterministic = _require(doc, "deterministic", bool)
+        if not deterministic:
+            raise AnalysisError(
+                "malformed BENCH document: adaptive benchmark reports "
+                "deterministic=false — inline/twin/batched/streamed "
+                "digests diverged"
             )
         _require(doc, "metrics", dict)
     else:

@@ -156,12 +156,19 @@ class CampaignSpec:
             raise SpecError(
                 f"unknown kernel {values['kernel']!r}; "
                 f"expected one of {_KERNELS}")
-        from ..core import available_estimators
+        from ..core import available_estimators, paired_estimators
 
         if values["estimator"] not in available_estimators():
             raise SpecError(
                 f"unknown estimator {values['estimator']!r}; choose from "
                 f"{sorted(available_estimators())}")
+        if values["estimator"] in paired_estimators():
+            # A study cell holds forward pulls only; paired estimators need
+            # a matched reverse ensemble the campaign never generates.
+            raise SpecError(
+                f"estimator {values['estimator']!r} needs paired "
+                f"forward/reverse data; campaign cells are forward-only "
+                f"(use the 'estimate' CLI with --method fr instead)")
         return cls(**values)
 
     # -- identity --------------------------------------------------------------

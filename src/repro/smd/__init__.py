@@ -17,6 +17,7 @@ fingerprints.
 from .protocol import (
     PullingProtocol,
     parameter_grid,
+    DIRECTIONS,
     PAPER_KAPPAS,
     PAPER_VELOCITIES,
 )
@@ -29,6 +30,7 @@ from .ensemble import (
     PAPER_CPU_HOURS_PER_NS,
 )
 from .batched import run_pulling_groups
+from .bidirectional import BidirectionalEnsemble, run_bidirectional_ensemble
 from .ensemble3d import run_pulling_ensemble_3d
 from .pulling import (
     SMDPullingForce,
@@ -41,6 +43,7 @@ from .subtrajectory import SubTrajectoryPlan, plan_subtrajectories, stitch_pmfs
 __all__ = [
     "PullingProtocol",
     "parameter_grid",
+    "DIRECTIONS",
     "PAPER_KAPPAS",
     "PAPER_VELOCITIES",
     "WorkEnsemble",
@@ -48,6 +51,8 @@ __all__ = [
     "run_pulling_ensemble_parallel",
     "run_work_ensemble",
     "run_pulling_groups",
+    "BidirectionalEnsemble",
+    "run_bidirectional_ensemble",
     "run_pulling_ensemble_3d",
     "DEFAULT_SHARD_SIZE",
     "PAPER_CPU_HOURS_PER_NS",

@@ -122,7 +122,11 @@ def run_pulling_groups(
         model, protocol, dt, n_records, force_sample_time
     )
     duration = protocol.duration_ns
-    start = protocol.start_z
+    # Travel origin and signed velocity: for a forward pull these are
+    # exactly (start_z, velocity) — the historical expressions bit for bit;
+    # a reverse pull starts at the window top and travels down.
+    start = protocol.origin_z
+    sgn = protocol.axis_sign
 
     with obs.span("smd.ensemble.batched", kappa_pn=protocol.kappa_pn,
                   velocity=protocol.velocity, n_groups=len(groups),
@@ -154,7 +158,7 @@ def run_pulling_groups(
         positions[:, 0] = z
         w = np.zeros(total, dtype=np.float64)
 
-        v = protocol.velocity
+        v = protocol.signed_velocity
         exact = force_sample_time is None
         f_prev = kappa * (start - z)
         lam = start
@@ -174,7 +178,7 @@ def run_pulling_groups(
             if step == record_at[rec]:
                 works[:, rec] = w
                 positions[:, rec] = z
-                displacements[rec] = lam - start
+                displacements[rec] = (lam - start) * sgn
                 rec += 1
         assert rec == n_records, "record schedule must consume all stations"
 

@@ -255,12 +255,15 @@ def run_pulling_ensemble(
     # duration is the denominator of the JE samples/sec rate.
     with obs.span("smd.ensemble", kappa_pn=protocol.kappa_pn,
                   velocity=protocol.velocity, n_samples=n_samples):
-        # Equilibrate in the static trap at the start station (equilibrium
-        # initial ensemble: a precondition of Jarzynski's equality).
+        # Equilibrate in the static trap at the travel origin (equilibrium
+        # initial ensemble: a precondition of Jarzynski's equality).  For a
+        # forward pull the origin is start_z — the historical expression,
+        # bit for bit; a reverse pull equilibrates at the window's top.
+        origin = protocol.origin_z
         z = model.equilibrate(
             n_samples,
             spring_kappa=kappa,
-            spring_center=protocol.start_z,
+            spring_center=origin,
             dt=dt_eff,
             time_ns=protocol.equilibration_ns,
             seed=rng,
@@ -274,14 +277,18 @@ def run_pulling_ensemble(
         positions[:, 0] = z
         w = np.zeros(n_samples, dtype=np.float64)
 
-        v = protocol.velocity
+        # Signed velocity: +v forward (the same float, so forward results
+        # keep their historical bits), -v reverse.  Recorded displacements
+        # are trap *travel* |lam - origin|, ascending from 0 either way.
+        v = protocol.signed_velocity
+        sgn = protocol.axis_sign
         exact = force_sample_time is None
         # Spring force sampled at the last completed sampling point.
-        f_prev = kappa * (protocol.start_z - z)
-        lam = protocol.start_z
+        f_prev = kappa * (origin - z)
+        lam = origin
         rec = 1
         for step in range(1, n_steps + 1):
-            lam_new = protocol.start_z + v * step * dt_eff
+            lam_new = origin + v * step * dt_eff
             if exact:
                 # Midpoint-in-lambda exact work for the trap move lam -> lam_new.
                 w += kappa * (lam_new - lam) * (0.5 * (lam + lam_new) - z)
@@ -295,7 +302,7 @@ def run_pulling_ensemble(
             if step == record_at[rec]:
                 works[:, rec] = w
                 positions[:, rec] = z
-                displacements[rec] = lam - protocol.start_z
+                displacements[rec] = (lam - origin) * sgn
                 rec += 1
         assert rec == n_records, "record schedule must consume all stations"
 
@@ -339,8 +346,9 @@ def _run_pulling_reference(
     vectorized expressions term by term, so the result is bit-identical —
     the oracle the batched and vectorized kernels are tested against.
     """
-    start = protocol.start_z
-    v = protocol.velocity
+    start = protocol.origin_z
+    v = protocol.signed_velocity
+    sgn = protocol.axis_sign
     kT = model.kT
     friction = model.friction
     drift = dt_eff / friction
@@ -396,7 +404,7 @@ def _run_pulling_reference(
         if step == record_at[rec]:
             works[:, rec] = w
             positions[:, rec] = z
-            displacements[rec] = lam - start
+            displacements[rec] = (lam - start) * sgn
             rec += 1
     assert rec == n_records, "record schedule must consume all stations"
     return works, positions, displacements
@@ -590,6 +598,7 @@ def run_work_ensemble(
     cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
     obs: Optional[Obs] = None,
     kernel: str = "vectorized",
+    task_offset: int = 0,
     base_seed: SeedLike = _UNSET,  # type: ignore[assignment]
 ) -> WorkEnsemble:
     """Run one (kappa, v) cell as ``n_tasks`` restartable store-addressed tasks.
@@ -626,6 +635,13 @@ def run_work_ensemble(
         the store — runs through *one* stacked engine call; each task
         still consumes its own ``stream_for`` stream, so results and
         store records match the per-task kernels bit for bit.
+    task_offset:
+        First task index (default 0).  Task ``i`` of this call runs as
+        stream ``stream_for(seed, *labels, "task", task_offset + i)``, so
+        a later call with ``task_offset=n_tasks`` *extends* the same cell:
+        concatenating the two results is bit-identical to one call of
+        ``n_tasks + n_extra`` tasks — the contract the adaptive
+        controller's pilot/refine rounds are built on.
     base_seed:
         Deprecated alias of ``seed`` (the historical divergent name);
         passing it emits a :class:`DeprecationWarning`.
@@ -646,6 +662,8 @@ def run_work_ensemble(
         raise ConfigurationError("n_tasks must be at least 1")
     if samples_per_task < 1:
         raise ConfigurationError("samples_per_task must be at least 1")
+    if task_offset < 0:
+        raise ConfigurationError("task_offset cannot be negative")
     validate_kernel(kernel)
     obs = as_obs(obs)
     base = as_seed_int(seed)
@@ -657,11 +675,11 @@ def run_work_ensemble(
             parts = _run_work_ensemble_batched(
                 model, protocol, n_tasks, samples_per_task, base, labels,
                 store, dt, n_records, force_sample_time, cpu_hours_per_ns,
-                obs,
+                obs, task_offset,
             )
         else:
             parts = []
-            for t in range(n_tasks):
+            for t in range(task_offset, task_offset + n_tasks):
                 key = (base, *labels, "task", t)
                 parts.append(run_pulling_ensemble(
                     model, protocol, samples_per_task,
@@ -687,6 +705,7 @@ def _run_work_ensemble_batched(
     force_sample_time: Optional[float],
     cpu_hours_per_ns: float,
     obs: Obs,
+    task_offset: int = 0,
 ) -> list:
     """Whole-cell batched execution for :func:`run_work_ensemble`.
 
@@ -694,30 +713,32 @@ def _run_work_ensemble_batched(
     kernels); every *miss* joins one stacked
     :func:`repro.smd.batched.run_pulling_groups` call.  Work counters
     accumulate only for tasks actually computed, matching the per-task
-    path's miss-only accounting.
+    path's miss-only accounting.  ``task_offset`` shifts the stream/task
+    indices exactly as in :func:`run_work_ensemble`.
     """
     from .batched import run_pulling_groups
 
+    task_ids = list(range(task_offset, task_offset + n_tasks))
     if store is None:
-        tasks = []
-        missing = list(range(n_tasks))
+        tasks = {}
+        missing = task_ids
         cached = {}
     else:
         from ..store import pulling_task, task_fingerprint
 
-        tasks = [
-            pulling_task(
+        tasks = {
+            t: pulling_task(
                 model, protocol, n_samples=samples_per_task,
                 n_records=n_records, force_sample_time=force_sample_time,
                 dt=dt, cpu_hours_per_ns=cpu_hours_per_ns,
                 seed_key=(base, *labels, "task", t),
             )
-            for t in range(n_tasks)
-        ]
+            for t in task_ids
+        }
         cached = {}
         missing = []
-        for t, task in enumerate(tasks):
-            hit = store.get(task_fingerprint(task))
+        for t in task_ids:
+            hit = store.get(task_fingerprint(tasks[t]))
             if hit is not None:
                 cached[t] = hit
             else:
@@ -742,7 +763,7 @@ def _run_work_ensemble_batched(
                 obs.metrics.inc("smd.je_samples", ens.n_samples)
                 obs.metrics.inc("smd.sim_ns", ens.cpu_hours / cpu_hours_per_ns)
                 obs.metrics.inc("smd.cpu_hours", ens.cpu_hours)
-    return [cached[t] for t in range(n_tasks)]
+    return [cached[t] for t in task_ids]
 
 
 def _record_schedule(n_strides: int, n_records: int) -> np.ndarray:

@@ -28,8 +28,12 @@ class WorkEnsemble:
     protocol:
         The pulling protocol that generated this ensemble.
     displacements:
-        ``(g,)`` trap displacements from the pull start (A), ascending,
-        starting at 0.
+        ``(g,)`` trap *travel* from the pull origin (A), ascending,
+        starting at 0.  For a forward protocol the origin is ``start_z``
+        and station ``s`` sits at ``start_z + s``; a reverse protocol
+        starts at ``start_z + distance`` and station ``s`` sits at
+        ``start_z + distance - s``.  Use :meth:`trap_stations` for the
+        axis positions.
     works:
         ``(m, g)`` accumulated external work per replica at each recorded
         displacement (kcal/mol); column 0 is all zeros.
@@ -97,14 +101,24 @@ class WorkEnsemble:
 
         return float(self.final_works().std(ddof=1) / (KB * self.temperature))
 
+    def trap_stations(self) -> np.ndarray:
+        """``(g,)`` axis positions of the trap at each record, in A.
+
+        Descending for a reverse protocol — positions on the axis, not
+        travel.
+        """
+        return (self.protocol.origin_z
+                + self.protocol.axis_sign * self.displacements)
+
     def coordinate_lag(self) -> np.ndarray:
         """Mean lag of the coordinate behind the trap ``(g,)``, in A.
 
-        Large lag signals strong dissipation; at soft kappa the lag's
-        *spread* signals trap-coordinate decoupling.
+        Positive when the coordinate trails the trap along the travel
+        direction.  Large lag signals strong dissipation; at soft kappa
+        the lag's *spread* signals trap-coordinate decoupling.
         """
-        trap = self.protocol.start_z + self.displacements
-        return trap - self.positions.mean(axis=0)
+        lag = self.trap_stations() - self.positions.mean(axis=0)
+        return self.protocol.axis_sign * lag
 
     def subset(self, indices: np.ndarray) -> "WorkEnsemble":
         """Ensemble restricted to the given replica indices (bootstrap use)."""

@@ -116,6 +116,23 @@ def _seed_key_list(seed_key: SeedKey) -> list:
     return out
 
 
+def _protocol_fields(protocol: PullingProtocol) -> Dict[str, Any]:
+    """Canonical protocol dict for fingerprinting.
+
+    New protocol fields enter the fingerprint through here.  A field at
+    its historical default is *dropped* rather than serialized, so adding
+    a defaulted field never re-keys the existing record corpus: a forward
+    protocol fingerprints exactly as it did before ``direction`` existed,
+    while any non-default value (``"reverse"``) is a distinct task.
+    Forward and reverse can therefore never collide — one form omits the
+    key, the other carries it.
+    """
+    fields = asdict(protocol)
+    if fields.get("direction") == "forward":
+        del fields["direction"]
+    return fields
+
+
 def _model_fields(model: Any) -> Dict[str, Any]:
     describe = getattr(model, "fingerprint_data", None)
     if describe is None:
@@ -151,7 +168,7 @@ def pulling_task(
     return {
         "kernel": "smd.reduced1d/v1",
         "model": _model_fields(model),
-        "protocol": asdict(protocol),
+        "protocol": _protocol_fields(protocol),
         "n_samples": int(n_samples),
         "n_records": int(n_records),
         "force_sample_time": force_sample_time,
@@ -177,7 +194,7 @@ def pulling_task_3d(
     """Task descriptor for a full 3-D CG pulling ensemble."""
     return {
         "kernel": "smd.cg3d/v1",
-        "protocol": asdict(protocol),
+        "protocol": _protocol_fields(protocol),
         "n_samples": int(n_samples),
         "n_bases": int(n_bases),
         "n_records": int(n_records),

@@ -37,10 +37,23 @@ _RESULT_FIELDS = ("protocol", "displacements", "works", "positions",
                   "temperature", "cpu_hours")
 
 
+def _encode_protocol(protocol: PullingProtocol) -> Dict[str, Any]:
+    """Protocol fields for a record.
+
+    ``direction`` is written only when non-default ("reverse"), mirroring
+    the fingerprint normalization: pre-direction records stay byte-stable
+    and decode via the dataclass default.
+    """
+    fields = {f: getattr(protocol, f) for f in _PROTOCOL_FIELDS}
+    if protocol.direction != "forward":
+        fields["direction"] = protocol.direction
+    return fields
+
+
 def encode_ensemble(ensemble: WorkEnsemble) -> Dict[str, Any]:
     """JSON-ready view of a work ensemble (exact float round-trip)."""
     return {
-        "protocol": {f: getattr(ensemble.protocol, f) for f in _PROTOCOL_FIELDS},
+        "protocol": _encode_protocol(ensemble.protocol),
         "displacements": ensemble.displacements.tolist(),
         "works": ensemble.works.tolist(),
         "positions": ensemble.positions.tolist(),

@@ -8,6 +8,12 @@ from .phases import (
     BatchPhaseResult,
     BatchPhase,
 )
+from .adaptive import (
+    AdaptiveReport,
+    BinReport,
+    allocate_largest_remainder,
+    run_adaptive_campaign,
+)
 from .campaign import SpiceCampaign, SpiceCampaignResult, build_default_federation
 from .interactive_session import InteractiveSessionOutcome, InteractiveSessionRunner
 from .production import FullAxisResult, run_full_axis_production
@@ -34,6 +40,10 @@ __all__ = [
     "InteractiveSessionRunner",
     "FullAxisResult",
     "run_full_axis_production",
+    "AdaptiveReport",
+    "BinReport",
+    "allocate_largest_remainder",
+    "run_adaptive_campaign",
     "StreamTask",
     "StreamCursor",
     "StreamReport",

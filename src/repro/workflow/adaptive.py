@@ -1,0 +1,380 @@
+"""Adaptive replica allocation: spend the budget where the PMF is hardest.
+
+A uniform campaign gives every pulling window the same number of replicas,
+but the Jarzynski error is wildly non-uniform along the pore axis: windows
+crossing a barrier dissipate more, their work spread grows, and the
+exponential average needs far more samples there than on quiet stretches.
+:func:`run_adaptive_campaign` exploits that:
+
+1. **Pilot** — every window (``n_bins`` consecutive sub-trajectory windows
+   of the base protocol, per Section IV-A stratification) runs a small
+   pilot ensemble of ``pilot_per_bin`` replicas.
+2. **Diagnose** — each window's pilot works are scored by a seeded block
+   bootstrap (:func:`repro.core.block_bootstrap`): the bias²+variance
+   ``mse`` of the chosen estimator is the window's expected squared error.
+3. **Reallocate** — the remaining replica budget is apportioned to windows
+   proportionally to ``sqrt(mse)`` (the optimal allocation under the
+   ``error² ~ mse/n`` sampling law) by the deterministic largest-remainder
+   method, ties broken toward the lower window index.
+4. **Refine** — each window extends its own task stream via
+   ``task_offset=pilot_per_bin``, so the merged pilot+refine ensemble is
+   bit-identical to a single run of ``pilot + extra`` tasks; the per-window
+   PMFs are stitched (:func:`repro.smd.stitch_pmfs`) into the full profile.
+
+Everything is driven by ``stream_for(seed, "adaptive", "bin", b, "task",
+t)`` streams, so the controller is deterministic end to end: rerunning,
+switching ``kernel=`` between ``vectorized``/``batched``/``reference``, or
+executing through the streamed store loop (``executor="streamed"``)
+reproduces the same bits (:meth:`AdaptiveReport.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.diagnostics import block_bootstrap
+from ..core.pmf import estimate_pmf
+from ..errors import ConfigurationError
+from ..obs import Obs, as_obs
+from ..pore.reduced import ReducedTranslocationModel
+from ..rng import SeedLike, as_seed_int, stream_for
+from ..smd.ensemble import (
+    DEFAULT_FORCE_SAMPLE_TIME,
+    PAPER_CPU_HOURS_PER_NS,
+    run_work_ensemble,
+)
+from ..smd.protocol import PullingProtocol
+from ..smd.subtrajectory import plan_subtrajectories, stitch_pmfs
+from ..smd.work import WorkEnsemble
+
+__all__ = [
+    "BinReport",
+    "AdaptiveReport",
+    "allocate_largest_remainder",
+    "run_adaptive_campaign",
+]
+
+_EXECUTORS = ("inline", "streamed")
+
+
+def allocate_largest_remainder(weights: List[float], total: int) -> List[int]:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Deterministic largest-remainder (Hamilton) apportionment: each bin gets
+    the floor of its exact quota, and the leftover units go to the largest
+    fractional remainders, ties broken toward the lower index.  All-zero
+    (or empty-sum) weights degrade to round-robin from index 0 — the
+    uniform-allocation limit.
+    """
+    if total < 0:
+        raise ConfigurationError("cannot allocate a negative total")
+    if not weights or any(w < 0 for w in weights):
+        raise ConfigurationError("weights must be non-empty and non-negative")
+    n = len(weights)
+    wsum = float(sum(weights))
+    if wsum <= 0.0:
+        base, leftover = divmod(total, n)
+        return [base + (1 if i < leftover else 0) for i in range(n)]
+    quotas = [total * float(w) / wsum for w in weights]
+    out = [int(np.floor(q)) for q in quotas]
+    leftover = total - sum(out)
+    # Sort by descending remainder, then ascending index (deterministic).
+    order = sorted(range(n), key=lambda i: (-(quotas[i] - out[i]), i))
+    for i in order[:leftover]:
+        out[i] += 1
+    return out
+
+
+@dataclass(frozen=True)
+class BinReport:
+    """Diagnostics and allocation outcome for one pulling window."""
+
+    index: int
+    start_z: float
+    distance: float
+    pilot: int
+    extra: int
+    score: float
+    bias: float
+    variance: float
+    spread_kT: float
+
+    @property
+    def total(self) -> int:
+        return self.pilot + self.extra
+
+
+@dataclass
+class AdaptiveReport:
+    """Outcome of one adaptive campaign.
+
+    ``z``/``pmf`` is the stitched full-window profile; ``rms_error`` its
+    RMS deviation from the model's analytic reference PMF (kcal/mol);
+    ``results`` maps window index to the merged pilot+refine ensemble.
+    """
+
+    bins: List[BinReport]
+    z: np.ndarray
+    pmf: np.ndarray
+    rms_error: float
+    pilot_per_bin: int
+    total_replicas: int
+    cpu_hours: float
+    estimator: str
+    seed: int
+    results: Dict[int, WorkEnsemble] = field(default_factory=dict)
+
+    def allocations(self) -> List[int]:
+        """Replicas per window, pilot included."""
+        return [b.total for b in self.bins]
+
+    def digest(self) -> str:
+        """SHA-256 over every work array and the stitched profile.
+
+        Byte-reproducibility witness: two runs agree on this digest iff
+        they agree bit for bit on all underlying physics.
+        """
+        h = hashlib.sha256()
+        for i in sorted(self.results):
+            ens = self.results[i]
+            h.update(np.ascontiguousarray(ens.works).tobytes())
+            h.update(np.ascontiguousarray(ens.positions).tobytes())
+        h.update(np.ascontiguousarray(self.z).tobytes())
+        h.update(np.ascontiguousarray(self.pmf).tobytes())
+        return h.hexdigest()
+
+
+def _run_bin_streamed(
+    model: ReducedTranslocationModel,
+    proto: PullingProtocol,
+    n_tasks: int,
+    *,
+    samples_per_task: int,
+    base: int,
+    labels: Tuple[Any, ...],
+    task_offset: int,
+    store: Any,
+    dt: Optional[float],
+    n_records: int,
+    force_sample_time: Optional[float],
+    cpu_hours_per_ns: float,
+    kernel: str,
+    window: int,
+    obs: Obs,
+) -> WorkEnsemble:
+    """One window's round through the streamed executor, bit-identical to
+    ``run_work_ensemble`` (same descriptors, same seed keys)."""
+    from functools import reduce
+
+    from ..smd.ensemble import run_pulling_ensemble
+    from ..store.fingerprint import pulling_task
+    from .streaming import StreamTask, run_streamed_tasks
+
+    tasks = []
+    for i, t in enumerate(range(task_offset, task_offset + n_tasks)):
+        key = (base, *labels, "task", t)
+        task = pulling_task(
+            model, proto, n_samples=samples_per_task, n_records=n_records,
+            force_sample_time=force_sample_time, dt=dt,
+            cpu_hours_per_ns=cpu_hours_per_ns, seed_key=key,
+        )
+
+        def compute(t: int = t) -> WorkEnsemble:
+            return run_pulling_ensemble(
+                model, proto, samples_per_task, dt=dt, n_records=n_records,
+                force_sample_time=force_sample_time,
+                seed=stream_for(base, *labels, "task", t),
+                cpu_hours_per_ns=cpu_hours_per_ns, obs=obs, kernel=kernel,
+            )
+
+        tasks.append(StreamTask(index=i, key=key, cell=labels, task=task,
+                                compute=compute))
+    report = run_streamed_tasks(tasks, store=store, window=window,
+                                collect=True, obs=obs)
+    parts = [report.results[i] for i in range(n_tasks)]
+    return reduce(WorkEnsemble.merged_with, parts)
+
+
+def run_adaptive_campaign(
+    model: ReducedTranslocationModel,
+    protocol: PullingProtocol,
+    *,
+    n_bins: int = 4,
+    total_replicas: int,
+    pilot_per_bin: int = 4,
+    samples_per_task: int = 2,
+    seed: SeedLike = 2005,
+    estimator: str = "exponential",
+    kernel: str = "vectorized",
+    executor: str = "inline",
+    store: Any = None,
+    dt: Optional[float] = None,
+    n_records: int = 21,
+    force_sample_time: Optional[float] = DEFAULT_FORCE_SAMPLE_TIME,
+    cpu_hours_per_ns: float = PAPER_CPU_HOURS_PER_NS,
+    n_boot: int = 32,
+    n_blocks: int = 4,
+    stream_window: int = 16,
+    obs: Optional[Obs] = None,
+) -> AdaptiveReport:
+    """Pilot → diagnose → reallocate → refine over one long pull.
+
+    Parameters
+    ----------
+    protocol:
+        The full-window forward protocol; it is split into ``n_bins``
+        consecutive sub-trajectory windows.
+    total_replicas:
+        Whole campaign budget in replicas; must cover the pilot,
+        ``total_replicas >= n_bins * pilot_per_bin``.  The remainder is
+        the adaptive pool.
+    pilot_per_bin:
+        Pilot replicas per window; must support ``n_blocks`` bootstrap
+        blocks.
+    samples_per_task:
+        Replicas per store task — the allocation granularity; both
+        ``total_replicas`` and ``pilot_per_bin`` must be multiples of it.
+        The default (2) is also the floor of the batched kernel's
+        bit-identity contract: a single-replica task evaluates the
+        landscape matvec through BLAS's one-row fast path, whose ulp-level
+        accumulation differs from the stacked evaluation, so
+        ``samples_per_task=1`` would make ``kernel="batched"`` digests
+        drift from the serial ones.
+    estimator:
+        Any *unpaired* registry estimator used per window (the windows are
+        forward-only).
+    executor:
+        ``"inline"`` drives :func:`~repro.smd.ensemble.run_work_ensemble`
+        directly (honouring ``kernel=``, including ``"batched"``);
+        ``"streamed"`` drains the identical task stream through
+        :func:`~repro.workflow.streaming.run_streamed_tasks` over the
+        mandatory ``store`` — bit-identical by construction.
+    n_boot / n_blocks:
+        Block-bootstrap shape for the per-window diagnostic; the bootstrap
+        stream is independent of the physics streams.
+
+    Returns an :class:`AdaptiveReport`; ``report.digest()`` is the
+    byte-reproducibility witness across reruns, kernels, and executors.
+    """
+    if n_bins < 1:
+        raise ConfigurationError("n_bins must be at least 1")
+    if samples_per_task < 1:
+        raise ConfigurationError("samples_per_task must be at least 1")
+    if pilot_per_bin < max(2, n_blocks):
+        raise ConfigurationError(
+            f"pilot_per_bin must be >= max(2, n_blocks={n_blocks}) so the "
+            "pilot can be block-bootstrapped")
+    if pilot_per_bin % samples_per_task or total_replicas % samples_per_task:
+        raise ConfigurationError(
+            f"pilot_per_bin ({pilot_per_bin}) and total_replicas "
+            f"({total_replicas}) must be multiples of samples_per_task "
+            f"({samples_per_task}) — the allocation granularity")
+    if total_replicas < n_bins * pilot_per_bin:
+        raise ConfigurationError(
+            f"total_replicas ({total_replicas}) cannot cover the pilot "
+            f"({n_bins} bins x {pilot_per_bin})")
+    if executor not in _EXECUTORS:
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; expected one of {_EXECUTORS}")
+    if executor == "streamed" and store is None:
+        raise ConfigurationError("executor='streamed' needs a store")
+    from ..core.estimators import available_estimators, paired_estimators
+
+    if estimator not in available_estimators():
+        raise ConfigurationError(
+            f"unknown estimator {estimator!r}; "
+            f"choose from {sorted(available_estimators())}")
+    if estimator in paired_estimators():
+        raise ConfigurationError(
+            f"estimator {estimator!r} needs paired reverse data; adaptive "
+            "windows are forward-only")
+
+    obs = as_obs(obs)
+    base = as_seed_int(seed)
+    plan = plan_subtrajectories(protocol, total_distance=protocol.distance,
+                                window=protocol.distance / n_bins)
+    protos = list(plan.protocols)
+
+    def run_round(b: int, proto: PullingProtocol, n_tasks: int,
+                  offset: int) -> WorkEnsemble:
+        labels = ("adaptive", "bin", b)
+        if executor == "streamed":
+            return _run_bin_streamed(
+                model, proto, n_tasks, samples_per_task=samples_per_task,
+                base=base, labels=labels,
+                task_offset=offset, store=store, dt=dt, n_records=n_records,
+                force_sample_time=force_sample_time,
+                cpu_hours_per_ns=cpu_hours_per_ns, kernel=kernel,
+                window=stream_window, obs=obs,
+            )
+        return run_work_ensemble(
+            model, proto, n_tasks, samples_per_task, seed=base,
+            labels=labels, store=store, dt=dt, n_records=n_records,
+            force_sample_time=force_sample_time,
+            cpu_hours_per_ns=cpu_hours_per_ns, obs=obs, kernel=kernel,
+            task_offset=offset,
+        )
+
+    with obs.span("workflow.adaptive", n_bins=n_bins,
+                  total_replicas=total_replicas,
+                  pilot_per_bin=pilot_per_bin):
+        pilot_tasks = pilot_per_bin // samples_per_task
+        pilots: List[WorkEnsemble] = []
+        diagnostics = []
+        for b, proto in enumerate(protos):
+            ens = run_round(b, proto, pilot_tasks, 0)
+            diag = block_bootstrap(
+                ens.final_works(), ens.temperature, n_boot=n_boot,
+                n_blocks=n_blocks, method=estimator,
+                seed=stream_for(base, "adaptive", "score", b),
+            )
+            pilots.append(ens)
+            diagnostics.append(diag)
+            obs.inc("adaptive.pilot_replicas", pilot_per_bin)
+
+        pool_tasks = (total_replicas - n_bins * pilot_per_bin) \
+            // samples_per_task
+        weights = [float(np.sqrt(d.mse)) for d in diagnostics]
+        extra_tasks = allocate_largest_remainder(weights, pool_tasks)
+
+        results: Dict[int, WorkEnsemble] = {}
+        bins: List[BinReport] = []
+        for b, (proto, pilot, diag, extra) in enumerate(
+                zip(protos, pilots, diagnostics, extra_tasks)):
+            merged = pilot
+            if extra > 0:
+                refine = run_round(b, proto, extra, pilot_tasks)
+                merged = pilot.merged_with(refine)
+                obs.inc("adaptive.refine_replicas", extra * samples_per_task)
+            results[b] = merged
+            bins.append(BinReport(
+                index=b, start_z=proto.start_z, distance=proto.distance,
+                pilot=pilot_per_bin, extra=extra * samples_per_task,
+                score=diag.mse, bias=diag.bias, variance=diag.variance,
+                spread_kT=merged.dissipated_width(),
+            ))
+
+        disps = [results[b].displacements for b in range(n_bins)]
+        pmfs = [estimate_pmf(results[b], estimator=estimator).values
+                for b in range(n_bins)]
+        starts = [p.start_z for p in protos]
+        z, pmf = stitch_pmfs(disps, pmfs, starts)
+        ref = model.reference_pmf(z)
+        rms = float(np.sqrt(np.mean((pmf - ref) ** 2)))
+
+    return AdaptiveReport(
+        bins=bins,
+        z=z,
+        pmf=pmf,
+        rms_error=rms,
+        pilot_per_bin=pilot_per_bin,
+        total_replicas=total_replicas,
+        cpu_hours=float(sum(e.cpu_hours for e in results.values())),
+        estimator=estimator,
+        seed=base,
+        results=results,
+    )

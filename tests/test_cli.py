@@ -63,3 +63,44 @@ class TestCommands:
                      "--z-min", "-10", "--z-max", "10"]) == 0
         out = capsys.readouterr().out
         assert "rms error" in out and "constriction barrier" in out
+
+
+class TestEstimateCommand:
+    def test_fr_reports_diffusion_and_cost(self, capsys):
+        assert main(["estimate", "--method", "fr", "--samples", "4",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PMF via fr" in out
+        assert "rms error" in out
+        assert "D(z) median" in out
+
+    def test_parallel_pull(self, capsys):
+        assert main(["estimate", "--method", "parallel-pull",
+                     "--samples", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PMF via parallel-pull" in out
+        assert "D(z)" not in out  # forward-only: no diffusion profile
+
+    def test_exponential_matches_registry_default(self, capsys):
+        assert main(["estimate", "--method", "exponential",
+                     "--samples", "4", "--seed", "1"]) == 0
+        assert "PMF via exponential" in capsys.readouterr().out
+
+
+class TestAdaptiveCampaignCommand:
+    def test_allocation_table_and_digest(self, capsys):
+        assert main(["campaign", "--adaptive", "--budget", "12",
+                     "--bins", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive allocation over 2 bins" in out
+        assert "score(MSE)" in out
+        assert "digest:" in out
+
+    def test_resume_from_store_is_bit_identical(self, tmp_path, capsys):
+        argv = ["campaign", "--adaptive", "--budget", "12", "--bins", "2",
+                "--seed", "1", "--store", str(tmp_path / "astore")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert cold.splitlines()[-1] == warm.splitlines()[-1]  # same digest

@@ -107,3 +107,33 @@ class TestInstrumentationDeterminism:
         assert bare.summary() == instrumented.summary()
         np.testing.assert_array_equal(bare.pmf.values,
                                       instrumented.pmf.values)
+
+
+class TestEstimateJson:
+    def test_fr_json_surface(self, capsys):
+        assert main(["estimate", "--method", "fr", "--samples", "4",
+                     "--seed", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "estimate"
+        assert doc["method"] == "fr"
+        assert doc["n_forward"] == doc["n_reverse"] == 4
+        assert doc["rms_error_kcal_mol"] >= 0.0
+        assert doc["median_diffusion_A2_ns"] > 0.0
+
+    def test_parallel_pull_group_size_recorded(self, capsys):
+        assert main(["estimate", "--method", "parallel-pull",
+                     "--samples", "4", "--group-size", "2",
+                     "--seed", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["group_size"] == 2
+
+
+class TestAdaptiveCampaignJson:
+    def test_budget_accounting_and_digest(self, capsys):
+        assert main(["campaign", "--adaptive", "--budget", "12",
+                     "--bins", "2", "--seed", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["adaptive"] is True
+        assert sum(doc["allocations"]) == doc["total_replicas"] == 12
+        assert len(doc["bin_scores"]) == 2
+        assert len(doc["digest"]) == 64

@@ -25,7 +25,8 @@ def works():
 
 class TestDispatch:
     def test_builtins_registered(self):
-        assert available_estimators() == ("block", "cumulant", "exponential")
+        assert available_estimators() == (
+            "block", "cumulant", "exponential", "fr", "parallel-pull")
 
     def test_exponential_dispatch_is_bit_identical(self, works):
         via_registry = estimate_free_energy(works, 300.0, method="exponential")

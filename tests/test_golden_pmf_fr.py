@@ -1,0 +1,111 @@
+"""Golden-master regression test for the forward–reverse reconstruction.
+
+The committed reference (tests/data/golden_pmf_fr.json, regenerated only
+via tools/make_golden_pmf_fr.py) pins the FR profile — PMF, dissipated
+work and the position-resolved diffusion estimate — of one bidirectional
+ensemble at the paper's optimal cell and a fixed seed.  Any drift in the
+reverse-pull protocol, the seed-stream layout (forward and reverse draw
+from distinct labelled streams), the index-flip segment work, or the
+dissipation-slope inversion fails here first.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import forward_reverse_pmf
+from repro.pore import ReducedTranslocationModel, default_reduced_potential
+from repro.smd import PullingProtocol, run_bidirectional_ensemble
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_pmf_fr.json")
+
+#: Same-arithmetic reruns reproduce the profile exactly; the tolerance
+#: only absorbs libm ulp differences across platforms.
+ATOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def recomputed(golden):
+    p = golden["params"]
+    model = ReducedTranslocationModel(default_reduced_potential())
+    proto = PullingProtocol(
+        kappa_pn=p["kappa_pn"], velocity=p["velocity"],
+        distance=p["distance"], start_z=p["start_z"],
+        equilibration_ns=p["equilibration_ns"])
+    pair = run_bidirectional_ensemble(
+        model, proto, p["n_samples"], n_records=p["n_records"],
+        seed=p["seed"])
+    return pair, forward_reverse_pmf(pair.forward, pair.reverse)
+
+
+def _diffusion_array(values):
+    """Golden JSON stores non-finite diffusion entries as null."""
+    return np.asarray([math.inf if v is None else v for v in values])
+
+
+class TestGoldenMasterFR:
+    def test_reference_document_shape(self, golden):
+        assert golden["schema"] == "repro.tests.golden_pmf_fr/v1"
+        n = golden["params"]["n_records"]
+        for key in ("stations", "pmf", "dissipated", "diffusion",
+                    "mean_work_forward", "mean_work_reverse"):
+            assert len(golden[key]) == n, key
+
+    def test_fr_profile_matches_reference(self, golden, recomputed):
+        _, profile = recomputed
+        np.testing.assert_allclose(
+            profile.stations, np.asarray(golden["stations"]),
+            rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(
+            profile.pmf, np.asarray(golden["pmf"]), rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(
+            profile.dissipated, np.asarray(golden["dissipated"]),
+            rtol=0.0, atol=ATOL)
+
+    def test_diffusion_matches_reference(self, golden, recomputed):
+        _, profile = recomputed
+        want = _diffusion_array(golden["diffusion"])
+        finite = np.isfinite(want)
+        assert np.array_equal(finite, np.isfinite(profile.diffusion))
+        np.testing.assert_allclose(
+            profile.diffusion[finite], want[finite], rtol=1e-12, atol=0.0)
+
+    def test_directional_mean_works_match_reference(self, golden,
+                                                    recomputed):
+        pair, _ = recomputed
+        np.testing.assert_allclose(
+            pair.forward.mean_work(),
+            np.asarray(golden["mean_work_forward"]), rtol=0.0, atol=ATOL)
+        np.testing.assert_allclose(
+            pair.reverse.mean_work(),
+            np.asarray(golden["mean_work_reverse"]), rtol=0.0, atol=ATOL)
+
+    def test_detects_injected_drift(self, golden, recomputed):
+        """Self-check: the tolerance is tight enough to catch real drift."""
+        _, profile = recomputed
+        drifted = profile.pmf + 1e-6
+        with pytest.raises(AssertionError):
+            np.testing.assert_allclose(
+                drifted, np.asarray(golden["pmf"]), rtol=0.0, atol=ATOL)
+
+    def test_profile_is_physically_sane(self, golden):
+        """Downhill PMF; dissipation accumulates; diffusion mostly finite."""
+        pmf = np.asarray(golden["pmf"])
+        dissipated = np.asarray(golden["dissipated"])
+        assert pmf[0] == 0.0
+        assert pmf[-1] < -80.0
+        assert dissipated[0] == 0.0
+        assert dissipated[-1] > 0.0
+        finite = [v for v in golden["diffusion"] if v is not None]
+        assert len(finite) >= len(golden["diffusion"]) // 2
+        assert all(v > 0.0 for v in finite)

@@ -12,6 +12,7 @@ import pytest
 from repro.cli import main
 from repro.errors import AnalysisError
 from repro.perf import (
+    SCHEMA_ADAPTIVE,
     SCHEMA_ENSEMBLE,
     SCHEMA_KERNELS,
     load_bench_document,
@@ -185,3 +186,69 @@ class TestCliBench:
         # collapse of the batched win.
         assert ensemble["batched_speedup"] > 2.0
         assert "batched ensemble" in out
+
+        adaptive = load_bench_document(str(tmp_path / "BENCH_adaptive.json"))
+        assert adaptive["schema"] == "repro.bench.adaptive/v1"
+        assert adaptive["deterministic"] is True
+        for point in adaptive["points"]:
+            assert point["adaptive_error"] <= point["uniform_error"]
+        assert "adaptive allocation" in out
+
+
+def adaptive_doc():
+    """A minimal valid adaptive document."""
+    return {
+        "schema": SCHEMA_ADAPTIVE,
+        "quick": True,
+        "seed": 1,
+        "workload": {"n_bins": 4, "pilot_per_bin": 4},
+        "determinism_budget": 40,
+        "points": [{
+            "budget": 24,
+            "adaptive_error": 3.1,
+            "uniform_error": 3.4,
+            "adaptive_cpu_hours": 6480.0,
+            "uniform_cpu_hours": 6480.0,
+            "allocations": [6, 6, 6, 6],
+        }],
+        "deterministic": True,
+        "metrics": {},
+    }
+
+
+class TestAdaptiveValidation:
+    def test_valid_document_passes(self):
+        assert validate_bench_document(adaptive_doc()) is not None
+
+    def test_losing_to_uniform_is_rejected(self):
+        """The cost-to-accuracy claim is enforced by the validator: a
+        point where adaptive allocation does worse than uniform at the
+        same budget must not be writable."""
+        doc = adaptive_doc()
+        doc["points"][0]["adaptive_error"] = 3.5
+        with pytest.raises(AnalysisError, match="loses to uniform"):
+            validate_bench_document(doc)
+
+    def test_exact_tie_is_admissible(self):
+        doc = adaptive_doc()
+        doc["points"][0]["adaptive_error"] = doc["points"][0][
+            "uniform_error"]
+        assert validate_bench_document(doc) is not None
+
+    def test_digest_divergence_is_rejected(self):
+        doc = adaptive_doc()
+        doc["deterministic"] = False
+        with pytest.raises(AnalysisError, match="digests diverged"):
+            validate_bench_document(doc)
+
+    def test_empty_points_rejected(self):
+        doc = adaptive_doc()
+        doc["points"] = []
+        with pytest.raises(AnalysisError, match="points"):
+            validate_bench_document(doc)
+
+    def test_workload_needs_bin_structure(self):
+        doc = adaptive_doc()
+        del doc["workload"]["n_bins"]
+        with pytest.raises(AnalysisError, match="n_bins"):
+            validate_bench_document(doc)

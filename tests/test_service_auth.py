@@ -236,3 +236,15 @@ class TestSpecValidation:
             CampaignSpec.from_dict(dict(SPEC, kernel="quantum"))
         with pytest.raises(SpecError):
             CampaignSpec.from_dict(dict(SPEC, estimator="magic"))
+
+    def test_paired_estimator_is_rejected_with_guidance(self):
+        """Campaign cells hold forward pulls only; the paired 'fr'
+        estimator must be refused at spec validation with a pointer to
+        the CLI that can serve it."""
+        from repro.service import CampaignSpec
+
+        with pytest.raises(SpecError, match="forward-only"):
+            CampaignSpec.from_dict(dict(SPEC, estimator="fr"))
+        # Unpaired second-generation estimators stay admissible.
+        spec = CampaignSpec.from_dict(dict(SPEC, estimator="parallel-pull"))
+        assert spec.estimator == "parallel-pull"

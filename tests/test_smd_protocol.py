@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.smd import (
+    DIRECTIONS,
     PAPER_KAPPAS,
     PAPER_VELOCITIES,
     PullingProtocol,
@@ -60,6 +61,54 @@ class TestPullingProtocol:
         p = PullingProtocol(kappa_pn=100.0, velocity=12.5)
         with pytest.raises(dataclasses.FrozenInstanceError):
             p.velocity = 25.0
+
+
+class TestDirection:
+    def test_forward_is_the_default(self):
+        p = PullingProtocol(kappa_pn=100.0, velocity=12.5)
+        assert p.direction == "forward"
+        assert DIRECTIONS == ("forward", "reverse")
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ConfigurationError, match="direction"):
+            PullingProtocol(kappa_pn=100.0, velocity=12.5,
+                            direction="sideways")
+
+    def test_reversed_is_an_involution(self):
+        p = PullingProtocol(kappa_pn=100.0, velocity=12.5, distance=10.0,
+                            start_z=-5.0)
+        r = p.reversed()
+        assert r.direction == "reverse"
+        assert r.reversed() == p
+
+    def test_reverse_geometry(self):
+        """A reverse pull launches its trap at the window top and moves
+        down: same window, mirrored schedule, same duration."""
+        p = PullingProtocol(kappa_pn=100.0, velocity=10.0, distance=5.0,
+                            start_z=-2.0)
+        r = p.reversed()
+        assert r.origin_z == pytest.approx(3.0)
+        assert r.axis_sign == -1.0
+        assert r.signed_velocity == pytest.approx(-10.0)
+        assert r.duration_ns == pytest.approx(p.duration_ns)
+        assert r.trap_position(0.0) == pytest.approx(3.0)
+        assert r.trap_position(0.25) == pytest.approx(0.5)
+        # Clamped at the window bottom.
+        assert r.trap_position(10.0) == pytest.approx(-2.0)
+
+    def test_mirror_schedules_coincide(self):
+        p = PullingProtocol(kappa_pn=100.0, velocity=10.0, distance=5.0,
+                            start_z=-2.0)
+        r = p.reversed()
+        for frac in (0.0, 0.2, 0.5, 0.8, 1.0):
+            t = frac * p.duration_ns
+            assert r.trap_position(p.duration_ns - t) == pytest.approx(
+                p.trap_position(t))
+
+    def test_reverse_label_is_tagged(self):
+        p = PullingProtocol(kappa_pn=100.0, velocity=12.5)
+        assert "reverse" in p.reversed().label()
+        assert "reverse" not in p.label()
 
 
 class TestParameterGrid:

@@ -95,6 +95,21 @@ class TestTaskFingerprint:
             default_reduced_potential(), friction=0.005)
         assert task_fingerprint(make_task(other_model, proto)) != base
 
+    def test_direction_perturbation_changes_fingerprint(self, model, proto):
+        base = task_fingerprint(make_task(model, proto))
+        assert task_fingerprint(
+            make_task(model, proto.reversed())) != base
+
+    def test_forward_direction_is_the_omitted_default(self, model, proto):
+        """``direction="forward"`` is normalized away, so the pre-direction
+        record corpus never re-keys: a task built from an explicitly
+        forward protocol fingerprints identically to one whose serialized
+        form never mentions direction at all."""
+        task = make_task(model, proto)
+        assert "direction" not in json.dumps(task)
+        stripped = json.loads(json.dumps(task))
+        assert task_fingerprint(stripped) == task_fingerprint(task)
+
     def test_kernel_3d_never_collides_with_1d(self, model, proto):
         t1 = make_task(model, proto, seed_key=7)
         t3 = pulling_task_3d(proto, n_samples=6, n_bases=8, n_records=41,
@@ -173,3 +188,52 @@ class TestFingerprintProperties:
             assert task_fingerprint(changed) != task_fingerprint(task)
         else:
             assert task_fingerprint(changed) == task_fingerprint(task)
+
+
+# -- direction-aware identity ------------------------------------------------
+
+protocol_params = st.tuples(
+    st.floats(min_value=10.0, max_value=500.0, allow_nan=False),
+    st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+    st.floats(min_value=-30.0, max_value=30.0, allow_nan=False),
+)
+
+
+class TestDirectionalIdentity:
+    @given(protocol_params)
+    @settings(max_examples=60, deadline=None)
+    def test_forward_and_reverse_never_share_a_fingerprint(self, params):
+        kappa, velocity, distance, start_z = params
+        proto = PullingProtocol(kappa_pn=kappa, velocity=velocity,
+                                distance=distance, start_z=start_z)
+        model = ReducedTranslocationModel(default_reduced_potential())
+        fwd = task_fingerprint(make_task(model, proto))
+        rev = task_fingerprint(make_task(model, proto.reversed()))
+        assert fwd != rev
+
+    @given(protocol_params)
+    @settings(max_examples=60, deadline=None)
+    def test_reversal_is_an_identity_preserving_involution(self, params):
+        kappa, velocity, distance, start_z = params
+        proto = PullingProtocol(kappa_pn=kappa, velocity=velocity,
+                                distance=distance, start_z=start_z)
+        model = ReducedTranslocationModel(default_reduced_potential())
+        assert task_fingerprint(
+            make_task(model, proto.reversed().reversed())
+        ) == task_fingerprint(make_task(model, proto))
+
+    def test_forward_and_reverse_coexist_in_a_sharded_store(
+            self, model, proto, tmp_path):
+        """Storing the same window pulled in both directions creates two
+        records — a direction collision would silently serve reverse
+        pulls from the forward cache."""
+        from repro.smd import run_work_ensemble
+        from repro.store import ShardedResultStore
+
+        store = ShardedResultStore(tmp_path / "store")
+        for direction_proto in (proto, proto.reversed()):
+            run_work_ensemble(model, direction_proto, 1, 2, seed=5,
+                              labels=("dir",), store=store, n_records=5,
+                              kernel="vectorized")
+        assert len(store) == 2
